@@ -1,0 +1,115 @@
+// Command 3gold is the 3GOL device daemon — the component that runs on a
+// 3G-connected phone (§4.1). It serves an HTTP proxy that pipes requests
+// from the home LAN out through the cellular interface, advertises itself
+// to the client's discovery endpoint while it is allowed to onload, and
+// enforces either a permit (network-integrated mode, -backend) or a daily
+// quota (multi-provider mode, -quota-mb).
+//
+// Example (multi-provider, 20 MB/day):
+//
+//	3gold -name kitchen-phone -listen 127.0.0.1:8081 \
+//	      -discovery 127.0.0.1:5353 -quota-mb 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"threegol/internal/discovery"
+	"threegol/internal/permit"
+	"threegol/internal/proxy"
+	"threegol/internal/quota"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", hostnameDefault(), "device name advertised on the LAN")
+		listen    = flag.String("listen", "127.0.0.1:0", "proxy listen address")
+		disco     = flag.String("discovery", "", "client discovery UDP endpoint (host:port); empty disables advertising")
+		quotaMB   = flag.Int64("quota-mb", 0, "daily 3GOL allowance in MB (multi-provider mode); 0 = unlimited")
+		backend   = flag.String("backend", "", "permit backend base URL (network-integrated mode)")
+		cell      = flag.String("cell", "", "serving cell id reported to the permit backend")
+		iface3g   = flag.String("bind-3g", "", "local address of the cellular interface to dial from (optional)")
+		verbosity = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	srv := &proxy.Server{Dial: dialer(*iface3g)}
+	if *verbosity {
+		srv.Logf = log.Printf
+	}
+
+	var tracker *quota.Tracker
+	if *quotaMB > 0 {
+		tracker = quota.NewTracker(*quotaMB << 20)
+		srv.OnBytes = tracker.Use
+	}
+	var permits *permit.Client
+	if *backend != "" {
+		permits = &permit.Client{BackendURL: *backend, Device: *name, Cell: *cell}
+	}
+	srv.Admit = func() bool {
+		if permits != nil && !permits.Allowed() {
+			return false
+		}
+		if tracker != nil && !tracker.ShouldAdvertise() {
+			return false
+		}
+		return true
+	}
+
+	addr, shutdown, err := srv.ListenAndServe(*listen)
+	if err != nil {
+		log.Fatalf("3gold: starting proxy: %v", err)
+	}
+	defer shutdown()
+	log.Printf("3gold: %s proxying on %s", *name, addr)
+
+	if *disco != "" {
+		beacon := &discovery.Beacon{
+			Target: *disco,
+			Announce: func() (discovery.Announcement, bool) {
+				if !srv.Admit() {
+					return discovery.Announcement{}, false
+				}
+				ann := discovery.Announcement{Name: *name, ProxyAddr: addr}
+				if tracker != nil {
+					ann.AllowanceBytes = tracker.Available()
+				}
+				return ann, true
+			},
+		}
+		if err := beacon.Start(); err != nil {
+			log.Fatalf("3gold: starting beacon: %v", err)
+		}
+		defer beacon.Stop()
+		log.Printf("3gold: advertising to %s", *disco)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("3gold: %d bytes onloaded this session", srv.BytesTotal())
+}
+
+// dialer binds outgoing connections to the cellular interface address
+// when one is given — the daemon's equivalent of routing via rmnet0.
+func dialer(bind string) proxy.Dialer {
+	d := &net.Dialer{}
+	if bind != "" {
+		d.LocalAddr = &net.TCPAddr{IP: net.ParseIP(bind)}
+	}
+	return d
+}
+
+func hostnameDefault() string {
+	if h, err := os.Hostname(); err == nil {
+		return fmt.Sprintf("3gol-%s", h)
+	}
+	return "3gol-device"
+}

@@ -1,0 +1,98 @@
+// Command 3golpermitd is the operator-side permit backend of the
+// network-integrated deployment (§2.4): devices ask it for permission to
+// onload, and it grants a time-limited permit only while the device's
+// serving cell sits below the utilisation acceptance threshold.
+//
+// The production interface to the 3G monitoring system is a utilisation
+// feed; this daemon accepts one on stdin as "cellID utilisation" lines
+// (or runs with a static default), so an operator can pipe their
+// monitoring export straight in:
+//
+//	monitoring-export | 3golpermitd -listen :7300 -threshold 0.7 -ttl 3m
+//
+// Devices (3gold -backend http://host:7300 -cell <id>) then gate their
+// proxies and beacons on GET /permit?device=<id>&cell=<id>.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"threegol/internal/permit"
+)
+
+// utilTable is a concurrent cellID → utilisation map fed from stdin.
+type utilTable struct {
+	mu       sync.RWMutex
+	util     map[string]float64
+	fallback float64
+}
+
+func (t *utilTable) get(cellID string) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if u, ok := t.util[cellID]; ok {
+		return u
+	}
+	return t.fallback
+}
+
+func (t *utilTable) set(cellID string, u float64) {
+	t.mu.Lock()
+	t.util[cellID] = u
+	t.mu.Unlock()
+}
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7300", "listen address")
+		threshold = flag.Float64("threshold", permit.DefaultThreshold, "utilisation acceptance threshold")
+		ttl       = flag.Duration("ttl", permit.DefaultTTL, "permit lifetime")
+		fallback  = flag.Float64("default-util", 0, "utilisation assumed for cells with no feed data")
+		feed      = flag.Bool("stdin-feed", false, "read 'cellID utilisation' lines from stdin")
+	)
+	flag.Parse()
+
+	table := &utilTable{util: make(map[string]float64), fallback: *fallback}
+	backend := &permit.Backend{
+		Utilization: table.get,
+		Threshold:   *threshold,
+		TTL:         *ttl,
+	}
+
+	if *feed {
+		go func() {
+			sc := bufio.NewScanner(os.Stdin)
+			for sc.Scan() {
+				fields := strings.Fields(sc.Text())
+				if len(fields) != 2 {
+					continue
+				}
+				u, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil || u < 0 {
+					continue
+				}
+				table.set(fields[0], u)
+			}
+		}()
+	}
+
+	// Periodic stats line so operators can watch grant/deny rates.
+	go func() {
+		for range time.Tick(30 * time.Second) {
+			g, d := backend.Stats()
+			log.Printf("3golpermitd: %d grants, %d denials", g, d)
+		}
+	}()
+
+	log.Printf("3golpermitd: serving /permit on %s (threshold %.2f, ttl %v)",
+		*listen, *threshold, *ttl)
+	log.Fatal(http.ListenAndServe(*listen, backend))
+}

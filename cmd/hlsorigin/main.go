@@ -1,0 +1,38 @@
+// Command hlsorigin serves a synthetic HLS video-on-demand asset — the
+// well-provisioned origin server of the paper's evaluation (§5). The
+// default asset is the paper's test video: Apple's bipbop sample
+// re-timed to 200 s with its four original qualities.
+//
+//	hlsorigin -listen :8080 -duration 200 -segment 10
+//
+// then play http://host:8080/bipbop/master.m3u8.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"threegol/internal/hls"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8080", "listen address")
+		name     = flag.String("name", "bipbop", "video name (URL prefix)")
+		duration = flag.Float64("duration", 200, "video duration in seconds")
+		segment  = flag.Float64("segment", 10, "segment duration in seconds")
+	)
+	flag.Parse()
+
+	video := hls.Video{
+		Name:       *name,
+		Duration:   *duration,
+		SegmentDur: *segment,
+		Qualities:  hls.BipBopQualities,
+	}
+	origin := hls.NewOrigin(video)
+	log.Printf("hlsorigin: serving /%s/master.m3u8 on %s (%d segments, %d qualities)",
+		*name, *listen, video.NumSegments(), len(video.Qualities))
+	log.Fatal(http.ListenAndServe(*listen, origin))
+}

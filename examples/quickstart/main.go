@@ -1,0 +1,95 @@
+// Quickstart: build an emulated home (a 6 Mbps ADSL line plus two 3G
+// phones on the Wi-Fi LAN), download a batch of files with and without
+// 3GOL, and print the speedup. Everything runs over real loopback TCP;
+// only the links are emulated, accelerated 20× (reported times are
+// de-scaled back to network time).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"threegol/internal/core"
+	"threegol/internal/scheduler"
+	"threegol/internal/transfer"
+)
+
+func main() {
+	// An origin server with ten 1 MB files.
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(bytes.Repeat([]byte("3GOL"), 256*1024))
+	}))
+	defer origin.Close()
+
+	// The home: ADSL 6/0.6 Mbps, two phones with ≈2 Mbps HSPA downlinks.
+	home, err := core.NewHome(core.HomeConfig{
+		DSLDown:   6e6,
+		DSLUp:     0.6e6,
+		TimeScale: 20,
+		Seed:      1,
+		Phones: []core.PhoneConfig{
+			{Name: "kitchen-phone", Down: 2.2e6, Up: 1.4e6, Warm: true},
+			{Name: "hall-phone", Down: 1.8e6, Up: 1.1e6, Warm: true},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer home.Close()
+
+	// The client discovers the admissible set Φ over the LAN.
+	phones := home.AdmissibleDevices(2, 3*time.Second)
+	fmt.Printf("discovered %d devices:", len(phones))
+	for _, ph := range phones {
+		fmt.Printf(" %s", ph.Name)
+	}
+	fmt.Println()
+
+	items := make([]scheduler.Item, 10)
+	for i := range items {
+		items[i] = scheduler.Item{
+			ID:   i,
+			Name: fmt.Sprintf("%s/file%d", origin.URL, i),
+			Size: 1 << 20,
+		}
+	}
+
+	// Baseline: everything over the ADSL line.
+	baseline := run(items, []scheduler.Path{
+		&transfer.DownloadPath{PathName: "adsl", Client: home.ADSLClient()},
+	})
+
+	// 3GOL: the ADSL line plus both phones, greedy scheduler.
+	paths := []scheduler.Path{
+		&transfer.DownloadPath{PathName: "adsl", Client: home.ADSLClient()},
+	}
+	for _, ph := range phones {
+		paths = append(paths, &transfer.DownloadPath{
+			PathName: ph.Name, Client: home.PhoneClient(ph),
+		})
+	}
+	boosted := run(items, paths)
+
+	fmt.Printf("ADSL alone: %6.1fs network time\n", home.ScaleDuration(baseline).Seconds())
+	fmt.Printf("with 3GOL:  %6.1fs network time (×%.2f speedup)\n",
+		home.ScaleDuration(boosted).Seconds(),
+		baseline.Seconds()/boosted.Seconds())
+}
+
+func run(items []scheduler.Item, paths []scheduler.Path) time.Duration {
+	rep, err := scheduler.Run(context.Background(), scheduler.Greedy, items, paths, scheduler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, st := range rep.PerPath {
+		fmt.Printf("  %-14s %2d files, %5.1f MB\n", name, st.Items, float64(st.Bytes)/(1<<20))
+	}
+	return rep.Elapsed
+}

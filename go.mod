@@ -1,0 +1,3 @@
+module threegol
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package capacity reproduces the paper's §2.1 back-of-the-envelope
+// comparison between the aggregate wired (ADSL) capacity of a cell's
+// coverage area and the cell's own backhaul capacity — the calculation
+// establishing that cellular is 1–2 orders of magnitude smaller in
+// aggregate yet locally comparable, which motivates onloading.
+package capacity
+
+import "math"
+
+// Assumptions are the model inputs; the defaults are the paper's.
+type Assumptions struct {
+	// CellRadiusM is the tower's coverage radius in metres.
+	CellRadiusM float64
+	// PopPerKm2 is the population density (downtown metropolitan).
+	PopPerKm2 float64
+	// PeoplePerHousehold divides population into households.
+	PeoplePerHousehold float64
+	// ADSLPenetration is the fraction of households with ADSL.
+	ADSLPenetration float64
+	// ADSLDownMbps is the average ADSL downlink sync speed (the paper
+	// cites Netalyzr's 6.7 Mbps average).
+	ADSLDownMbps float64
+	// ADSLUplinkAsymmetry is the downlink:uplink ratio (the paper notes
+	// ~1/10 asymmetry).
+	ADSLUplinkAsymmetry float64
+	// CellBackhaulMbps is one tower's backhaul capacity (the paper
+	// assumes 40–50 Mbps; 45 splits the difference).
+	CellBackhaulMbps float64
+}
+
+// PaperDefaults returns the assumptions used in §2.1.
+func PaperDefaults() Assumptions {
+	return Assumptions{
+		CellRadiusM:         200,
+		PopPerKm2:           35000,
+		PeoplePerHousehold:  4,
+		ADSLPenetration:     0.8,
+		ADSLDownMbps:        6.7,
+		ADSLUplinkAsymmetry: 10,
+		CellBackhaulMbps:    45,
+	}
+}
+
+// Result is the computed comparison.
+type Result struct {
+	// AreaKm2 is the cell's coverage area.
+	AreaKm2 float64
+	// Subscribers is the population covered by the cell.
+	Subscribers float64
+	// ADSLLines is the number of ADSL connections in the area.
+	ADSLLines float64
+	// WiredDownGbps is the aggregate ADSL downlink capacity.
+	WiredDownGbps float64
+	// WiredUpGbps is the aggregate ADSL uplink capacity.
+	WiredUpGbps float64
+	// CellGbps is the tower's backhaul capacity.
+	CellGbps float64
+	// DownRatio is wired/cell on the downlink (the "1–2 orders of
+	// magnitude" figure).
+	DownRatio float64
+	// UpRatio is wired/cell on the uplink (smaller, per the paper).
+	UpRatio float64
+}
+
+// Compute evaluates the model.
+func (a Assumptions) Compute() Result {
+	area := math.Pi * a.CellRadiusM * a.CellRadiusM / 1e6 // km²
+	subs := area * a.PopPerKm2
+	lines := subs / a.PeoplePerHousehold * a.ADSLPenetration
+	wiredDown := lines * a.ADSLDownMbps / 1000 // Gbps
+	wiredUp := wiredDown / a.ADSLUplinkAsymmetry
+	cell := a.CellBackhaulMbps / 1000
+	r := Result{
+		AreaKm2:       area,
+		Subscribers:   subs,
+		ADSLLines:     lines,
+		WiredDownGbps: wiredDown,
+		WiredUpGbps:   wiredUp,
+		CellGbps:      cell,
+	}
+	if cell > 0 {
+		r.DownRatio = wiredDown / cell
+		r.UpRatio = wiredUp / cell
+	}
+	return r
+}
+
+// OrdersOfMagnitude returns log10 of the downlink ratio — the paper's
+// "1–2 orders of magnitude" claim holds when this lies in [1, 2].
+func (r Result) OrdersOfMagnitude() float64 {
+	if r.DownRatio <= 0 {
+		return 0
+	}
+	return math.Log10(r.DownRatio)
+}

@@ -1,0 +1,54 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperDefaultsReproduceSection21(t *testing.T) {
+	r := PaperDefaults().Compute()
+	// ~4400 subscribers in a 200 m cell at 35k/km² (the paper rounds to
+	// 4375).
+	if r.Subscribers < 4200 || r.Subscribers > 4600 {
+		t.Errorf("subscribers = %v, want ≈4400", r.Subscribers)
+	}
+	// ≈875 ADSL lines.
+	if r.ADSLLines < 840 || r.ADSLLines > 920 {
+		t.Errorf("ADSL lines = %v, want ≈875", r.ADSLLines)
+	}
+	// ≈5.9 Gbps aggregate wired downlink (paper: 5.863 Gbps).
+	if math.Abs(r.WiredDownGbps-5.9) > 0.3 {
+		t.Errorf("wired downlink = %v Gbps, want ≈5.9", r.WiredDownGbps)
+	}
+	// Cellular is 1–2 orders of magnitude smaller.
+	oom := r.OrdersOfMagnitude()
+	if oom < 1 || oom > 2.5 {
+		t.Errorf("orders of magnitude = %v, want within [1, 2.5]", oom)
+	}
+	// Uplink gap is smaller than downlink gap (1/10 ADSL asymmetry).
+	if r.UpRatio >= r.DownRatio {
+		t.Errorf("uplink ratio %v should be below downlink ratio %v", r.UpRatio, r.DownRatio)
+	}
+}
+
+func TestComputeScalesWithInputs(t *testing.T) {
+	a := PaperDefaults()
+	base := a.Compute()
+	a.CellRadiusM *= 2 // 4× area → 4× subscribers and wired capacity
+	big := a.Compute()
+	if math.Abs(big.Subscribers/base.Subscribers-4) > 1e-9 {
+		t.Errorf("doubling radius: subscribers ×%v, want ×4", big.Subscribers/base.Subscribers)
+	}
+	if math.Abs(big.DownRatio/base.DownRatio-4) > 1e-9 {
+		t.Errorf("doubling radius: ratio ×%v, want ×4", big.DownRatio/base.DownRatio)
+	}
+}
+
+func TestZeroBackhaulYieldsZeroRatios(t *testing.T) {
+	a := PaperDefaults()
+	a.CellBackhaulMbps = 0
+	r := a.Compute()
+	if r.DownRatio != 0 || r.UpRatio != 0 || r.OrdersOfMagnitude() != 0 {
+		t.Errorf("zero backhaul produced ratios: %+v", r)
+	}
+}

@@ -1,0 +1,228 @@
+package cellular
+
+import (
+	"fmt"
+	"math/rand"
+
+	"threegol/internal/diurnal"
+	"threegol/internal/linksim"
+	"threegol/internal/simclock"
+)
+
+// LocationPreset captures one of the paper's measurement or evaluation
+// sites: the local ADSL speed, the cellular deployment density and
+// provisioning around it, and the radio conditions a device sees there.
+type LocationPreset struct {
+	Name        string
+	Description string
+	// Hour is the paper's measurement hour for the site (−1 when the
+	// paper lists n/a).
+	Hour float64
+	// ADSL downlink/uplink sync rates in bits/s.
+	DSLDown, DSLUp float64
+	// Deployment shape.
+	NumBS        int
+	SectorsPerBS int
+	CapScale     float64
+	// Peak background utilisation of the shared channels (scaled by the
+	// diurnal mobile curve).
+	PeakUtilDL, PeakUtilUL float64
+	// SignalDBm is the typical signal strength devices see at the site.
+	SignalDBm float64
+	// Balanced marks dense deployments (the paper's Location 3, a
+	// tourist hub) where devices naturally spread across sectors and
+	// towers; elsewhere every device camps on the primary best-server
+	// cell, which is what makes the uplink plateau at one cell's HSUPA
+	// capacity.
+	Balanced bool
+	// Paper3GDown/Up record the paper's measured 3-device aggregate 3G
+	// throughput (bits/s) for Table 2 comparisons; zero when unreported.
+	Paper3GDown, Paper3GUp float64
+}
+
+// MeasurementLocations are the six sites of the paper's §3 active
+// measurement study (Table 2).
+var MeasurementLocations = []LocationPreset{
+	{
+		Name:        "loc1",
+		Description: "Densely populated residential area (city center)",
+		Hour:        1,
+		DSLDown:     3.44 * linksim.Mbps, DSLUp: 0.30 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 2.0,
+		PeakUtilDL: 0.50, PeakUtilUL: 0.45,
+		SignalDBm:   -82,
+		Paper3GDown: 5.73 * linksim.Mbps, Paper3GUp: 3.58 * linksim.Mbps,
+	},
+	{
+		Name:        "loc2",
+		Description: "Office area at rush hour",
+		Hour:        16,
+		DSLDown:     4.51 * linksim.Mbps, DSLUp: 0.47 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.79, PeakUtilUL: 0.98,
+		SignalDBm:   -85,
+		Paper3GDown: 2.94 * linksim.Mbps, Paper3GUp: 1.52 * linksim.Mbps,
+	},
+	{
+		Name:        "loc3",
+		Description: "Residential area in tourist hotspot",
+		Hour:        22,
+		DSLDown:     6.72 * linksim.Mbps, DSLUp: 0.84 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 2, CapScale: 1.0,
+		PeakUtilDL: 0.50, PeakUtilUL: 0.50,
+		SignalDBm:   -102,
+		Balanced:    true,
+		Paper3GDown: 2.08 * linksim.Mbps, Paper3GUp: 1.29 * linksim.Mbps,
+	},
+	{
+		Name:        "loc4",
+		Description: "Sparsely populated residential area (suburbs)",
+		Hour:        1,
+		DSLDown:     2.84 * linksim.Mbps, DSLUp: 0.45 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.40, PeakUtilUL: 0.55,
+		SignalDBm:   -88,
+		Paper3GDown: 4.55 * linksim.Mbps, Paper3GUp: 2.17 * linksim.Mbps,
+	},
+	{
+		Name:        "loc5",
+		Description: "Densely populated residential area (city center)",
+		Hour:        -1,
+		DSLDown:     8.57 * linksim.Mbps, DSLUp: 0.63 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.74, PeakUtilUL: 0.88,
+		SignalDBm:   -86,
+		Paper3GDown: 3.88 * linksim.Mbps, Paper3GUp: 2.63 * linksim.Mbps,
+	},
+	{
+		Name:        "loc6",
+		Description: "Densely populated residential area (city center)",
+		Hour:        -1,
+		DSLDown:     55.48 * linksim.Mbps, DSLUp: 11.35 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 1.09, PeakUtilUL: 1.18,
+		SignalDBm:   -94,
+		Paper3GDown: 2.32 * linksim.Mbps, Paper3GUp: 1.52 * linksim.Mbps,
+	},
+}
+
+// EvalLocations are the five residential sites of the in-the-wild
+// prototype evaluation (§5, Table 4).
+var EvalLocations = []LocationPreset{
+	{
+		Name: "loc1", Description: "Residential, good coverage",
+		Hour:    9,
+		DSLDown: 6.48 * linksim.Mbps, DSLUp: 0.83 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.55, PeakUtilUL: 0.55,
+		SignalDBm: -81,
+	},
+	{
+		Name: "loc2", Description: "Residential, fast ADSL2+, weak signal",
+		Hour:    9,
+		DSLDown: 21.64 * linksim.Mbps, DSLUp: 2.77 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.55, PeakUtilUL: 0.55,
+		SignalDBm: -95,
+	},
+	{
+		Name: "loc3", Description: "Residential, weakest signal",
+		Hour:    9,
+		DSLDown: 8.67 * linksim.Mbps, DSLUp: 0.62 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.60, PeakUtilUL: 0.60,
+		SignalDBm: -97,
+	},
+	{
+		Name: "loc4", Description: "Residential, slowest ADSL",
+		Hour:    9,
+		DSLDown: 6.20 * linksim.Mbps, DSLUp: 0.65 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.55, PeakUtilUL: 0.55,
+		SignalDBm: -89,
+	},
+	{
+		Name: "loc5", Description: "Residential",
+		Hour:    9,
+		DSLDown: 6.82 * linksim.Mbps, DSLUp: 0.58 * linksim.Mbps,
+		NumBS: 2, SectorsPerBS: 1, CapScale: 1.0,
+		PeakUtilDL: 0.55, PeakUtilUL: 0.55,
+		SignalDBm: -89,
+	},
+}
+
+// FindLocation returns the preset with the given name from the slice, or
+// false when absent.
+func FindLocation(presets []LocationPreset, name string) (LocationPreset, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return LocationPreset{}, false
+}
+
+// Site is a fully built location: a fluid simulator with the preset's
+// cellular deployment, positioned at the preset hour.
+type Site struct {
+	Preset  LocationPreset
+	Sim     *linksim.Simulator
+	Network *Network
+	RNG     *rand.Rand
+}
+
+// BuildSite instantiates the preset's deployment on a fresh simulator and
+// advances virtual time to the preset's measurement hour (or 10:00 when
+// the paper lists n/a).
+func BuildSite(p LocationPreset, seed int64) *Site {
+	clock := simclock.New()
+	sim := linksim.New(clock)
+	rng := rand.New(rand.NewSource(seed))
+	net := NewNetwork(sim, rng, DefaultParams())
+	for i := 0; i < p.NumBS; i++ {
+		net.AddBaseStation(BaseStationConfig{
+			Name:       p.Name + "/bs" + string(rune('A'+i)),
+			Sectors:    p.SectorsPerBS,
+			Load:       diurnal.Mobile,
+			PeakUtilDL: p.PeakUtilDL,
+			PeakUtilUL: p.PeakUtilUL,
+			CapScale:   p.CapScale,
+		})
+	}
+	hour := p.Hour
+	if hour < 0 {
+		hour = 10
+	}
+	if hour > 0 {
+		clock.RunUntil(hour * 3600)
+	}
+	return &Site{Preset: p, Sim: sim, Network: net, RNG: rng}
+}
+
+// AttachDevices creates n devices at the preset's signal strength with
+// ±3 dBm per-device variation. At ordinary sites every device camps on
+// the primary best-server cell; at Balanced sites (dense deployments)
+// devices spread across sectors via least-loaded association.
+func (s *Site) AttachDevices(n int) []*Device {
+	return s.AttachDevicesPrimary(n, 0)
+}
+
+// AttachDevicesPrimary attaches n devices with the given tower as the
+// best server — measurement campaigns rotate the primary across days to
+// model the re-associations the paper observes ("devices are associated
+// with at least two different base stations at all locations").
+func (s *Site) AttachDevicesPrimary(n, bsIdx int) []*Device {
+	devs := make([]*Device, n)
+	towers := s.Network.BaseStations()
+	primary := towers[bsIdx%len(towers)].Sectors()[0]
+	for i := range devs {
+		sig := s.Preset.SignalDBm + float64(s.RNG.Intn(7)-3)
+		name := fmt.Sprintf("%s/dev%d", s.Preset.Name, i)
+		if s.Preset.Balanced {
+			devs[i] = s.Network.Attach(name, sig)
+		} else {
+			devs[i] = s.Network.AttachTo(name, sig, primary)
+		}
+	}
+	return devs
+}

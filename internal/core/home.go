@@ -1,0 +1,313 @@
+// Package core assembles the 3GOL system: an emulated residential
+// environment (ADSL line, Wi-Fi LAN, 3G phones running the device
+// component) and the client component that accelerates applications over
+// it — the HLS-aware video proxy and the multipath photo uploader, both
+// driving the multipath scheduler of §4.1.1.
+//
+// Everything runs over real loopback TCP through netem-shaped
+// connections, so the code paths exercised here are the ones a deployment
+// would run; only the links are emulated. A TimeScale accelerates the
+// emulation without changing any ratio the paper reports.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"threegol/internal/discovery"
+	"threegol/internal/netem"
+	"threegol/internal/proxy"
+	"threegol/internal/quota"
+)
+
+// PhoneConfig describes one 3G device participating in 3GOL.
+type PhoneConfig struct {
+	Name string
+	// Down/Up are the phone's 3G rates in bits/s (before variability).
+	Down, Up float64
+	// Variability is the relative std of the HSPA rate process; 0
+	// disables wandering (useful in tests).
+	Variability float64
+	// DailyQuotaBytes enables the multi-provider quota gate; 0 means
+	// network-integrated (no cap enforced on-device).
+	DailyQuotaBytes int64
+	// Warm starts the device in DCH (the paper's "H" mode, after an ICMP
+	// train); cold devices pay the RRC promotion delay on first use.
+	Warm bool
+}
+
+// HomeConfig describes the emulated residence.
+type HomeConfig struct {
+	// DSLDown/DSLUp are the ADSL sync rates in bits/s.
+	DSLDown, DSLUp float64
+	// WiFi is the BSS goodput cap in bits/s; 0 selects 802.11n.
+	WiFi float64
+	// TimeScale accelerates the emulation (rates ×S, delays ÷S); 0 = 1.
+	TimeScale float64
+	// Phones on the LAN.
+	Phones []PhoneConfig
+	// Seed drives all stochastic components.
+	Seed int64
+	// RRCPromotionDelay is the idle→DCH delay (unscaled); 0 selects 2 s.
+	RRCPromotionDelay time.Duration
+	// RRCTail is how long a phone stays warm after activity; 0 → 10 s.
+	RRCTail time.Duration
+}
+
+// Home is a running emulated residence. Create with NewHome, release with
+// Close.
+type Home struct {
+	cfg HomeConfig
+
+	adslDialer *netem.Dialer
+	adslDown   *netem.Limiter
+	adslUp     *netem.Limiter
+	wifi       *netem.Limiter
+
+	Phones  []*Phone
+	Browser *discovery.Browser
+
+	closers []func()
+}
+
+// Phone is one running device component: HTTP proxy bound to an emulated
+// 3G path, quota tracker, discovery beacon, RRC state.
+type Phone struct {
+	Name      string
+	ProxyAddr string
+	Tracker   *quota.Tracker // nil in network-integrated mode
+	Proxy     *proxy.Server
+
+	dl, ul *netem.Limiter
+	procs  []*netem.RateProcess
+
+	rrcMu      sync.Mutex
+	warm       bool
+	lastActive time.Time
+	promotion  time.Duration // scaled
+	tail       time.Duration // scaled
+}
+
+// rrcDelay returns the promotion delay a new transaction must pay now
+// and marks the phone active.
+func (p *Phone) rrcDelay() time.Duration {
+	p.rrcMu.Lock()
+	defer p.rrcMu.Unlock()
+	now := time.Now()
+	defer func() { p.lastActive = now }()
+	if p.warm && now.Sub(p.lastActive) <= p.tail {
+		return 0
+	}
+	p.warm = true
+	return p.promotion
+}
+
+// WarmUp models the ICMP train: promotes the phone to DCH immediately.
+func (p *Phone) WarmUp() {
+	p.rrcMu.Lock()
+	p.warm = true
+	p.lastActive = time.Now()
+	p.rrcMu.Unlock()
+}
+
+// NewHome builds and starts the environment: phones run their proxies and
+// beacons, the browser listens, the ADSL line is shaped and shared.
+func NewHome(cfg HomeConfig) (*Home, error) {
+	if cfg.DSLDown <= 0 || cfg.DSLUp <= 0 {
+		return nil, fmt.Errorf("core: ADSL rates must be positive, got %v/%v", cfg.DSLDown, cfg.DSLUp)
+	}
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	wifiGoodput := cfg.WiFi
+	if wifiGoodput <= 0 {
+		wifiGoodput = netem.WiFiNGoodput
+	}
+	promotion := cfg.RRCPromotionDelay
+	if promotion <= 0 {
+		promotion = 2 * time.Second
+	}
+	tail := cfg.RRCTail
+	if tail <= 0 {
+		tail = 10 * time.Second
+	}
+
+	h := &Home{cfg: cfg}
+	adslPipe, dl, ul := netem.ADSLPipe(cfg.DSLDown, cfg.DSLUp, scale)
+	h.adslDialer = &netem.Dialer{Pipe: adslPipe, Seed: cfg.Seed}
+	h.adslDown, h.adslUp = dl, ul
+	h.wifi = netem.NewWiFiLimiter(wifiGoodput, scale)
+
+	h.Browser = &discovery.Browser{}
+	browseAddr, err := h.Browser.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: starting discovery browser: %w", err)
+	}
+	h.closers = append(h.closers, h.Browser.Close)
+
+	for i, pc := range cfg.Phones {
+		ph, err := h.startPhone(i, pc, scale, promotion, tail, browseAddr)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.Phones = append(h.Phones, ph)
+	}
+	return h, nil
+}
+
+func (h *Home) startPhone(i int, pc PhoneConfig, scale float64, promotion, tail time.Duration, browseAddr string) (*Phone, error) {
+	if pc.Down <= 0 || pc.Up <= 0 {
+		return nil, fmt.Errorf("core: phone %q 3G rates must be positive", pc.Name)
+	}
+	name := pc.Name
+	if name == "" {
+		name = fmt.Sprintf("phone%d", i+1)
+	}
+	hspaPipe, dl, ul := netem.HSPAPipe(pc.Down, pc.Up, scale)
+	ph := &Phone{
+		Name:      name,
+		dl:        dl,
+		ul:        ul,
+		promotion: time.Duration(float64(promotion) / scale),
+		tail:      time.Duration(float64(tail) / scale),
+		warm:      pc.Warm,
+	}
+	if pc.Warm {
+		ph.lastActive = time.Now()
+	}
+
+	if pc.Variability > 0 {
+		seed := h.cfg.Seed + int64(i)*101
+		for j, rp := range []*netem.RateProcess{
+			{Limiter: dl, Mean: dl.Rate(), Std: pc.Variability, Interval: time.Duration(float64(2*time.Second) / scale)},
+			{Limiter: ul, Mean: ul.Rate(), Std: pc.Variability, Interval: time.Duration(float64(2*time.Second) / scale)},
+		} {
+			rp.Start(seed + int64(j))
+			ph.procs = append(ph.procs, rp)
+			h.closers = append(h.closers, rp.Stop)
+		}
+	}
+
+	if pc.DailyQuotaBytes > 0 {
+		ph.Tracker = quota.NewTracker(pc.DailyQuotaBytes)
+	}
+
+	ph.Proxy = &proxy.Server{
+		Dial: &netem.Dialer{Pipe: hspaPipe, Seed: h.cfg.Seed + int64(i)*977},
+	}
+	if ph.Tracker != nil {
+		tr := ph.Tracker
+		ph.Proxy.OnBytes = tr.Use
+		ph.Proxy.Admit = tr.ShouldAdvertise
+	}
+	addr, shutdown, err := ph.Proxy.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: starting proxy for %s: %w", name, err)
+	}
+	ph.ProxyAddr = addr
+	h.closers = append(h.closers, func() { shutdown() })
+
+	beacon := &discovery.Beacon{
+		Target:   browseAddr,
+		Interval: 50 * time.Millisecond,
+		Announce: func() (discovery.Announcement, bool) {
+			ann := discovery.Announcement{Name: name, ProxyAddr: addr}
+			if ph.Tracker != nil {
+				ann.AllowanceBytes = ph.Tracker.Available()
+				if ann.AllowanceBytes <= 0 {
+					return discovery.Announcement{}, false
+				}
+			}
+			return ann, true
+		},
+	}
+	if err := beacon.Start(); err != nil {
+		return nil, fmt.Errorf("core: starting beacon for %s: %w", name, err)
+	}
+	h.closers = append(h.closers, beacon.Stop)
+	return ph, nil
+}
+
+// TimeScale returns the environment's acceleration factor.
+func (h *Home) TimeScale() float64 {
+	if h.cfg.TimeScale <= 0 {
+		return 1
+	}
+	return h.cfg.TimeScale
+}
+
+// ScaleDuration converts an observed wall-clock duration back to emulated
+// (real-network) time.
+func (h *Home) ScaleDuration(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * h.TimeScale())
+}
+
+// ADSLClient returns an HTTP client routed directly over the ADSL line —
+// the baseline path and the scheduler's "adsl" route.
+func (h *Home) ADSLClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		DialContext:         h.adslDialer.DialContext,
+		MaxIdleConnsPerHost: 8,
+	}}
+}
+
+// PhoneClient returns an HTTP client routed through the named phone's
+// proxy across the shaped Wi-Fi LAN. The phone's RRC promotion delay, if
+// due, is paid on the first connection.
+func (h *Home) PhoneClient(ph *Phone) *http.Client {
+	wifiDialer := &netem.Dialer{
+		Pipe: netem.WiFiPipe(h.wifi, h.TimeScale()),
+		Seed: h.cfg.Seed ^ int64(len(ph.Name)),
+	}
+	proxyURL := &url.URL{Scheme: "http", Host: ph.ProxyAddr}
+	var once sync.Once
+	return &http.Client{Transport: &http.Transport{
+		Proxy: http.ProxyURL(proxyURL),
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			once.Do(func() {
+				if d := ph.rrcDelay(); d > 0 {
+					time.Sleep(d)
+				}
+			})
+			return wifiDialer.DialContext(ctx, network, addr)
+		},
+		MaxIdleConnsPerHost: 8,
+	}}
+}
+
+// AdmissibleDevices waits for up to n phones to appear in discovery and
+// returns the matching Phone handles (the set Φ).
+func (h *Home) AdmissibleDevices(n int, timeout time.Duration) []*Phone {
+	anns := h.Browser.WaitFor(n, timeout)
+	var out []*Phone
+	for _, ann := range anns {
+		for _, ph := range h.Phones {
+			if ph.Name == ann.Name {
+				out = append(out, ph)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Close releases every resource the home started.
+func (h *Home) Close() {
+	for i := len(h.closers) - 1; i >= 0; i-- {
+		h.closers[i]()
+	}
+	h.closers = nil
+}
+
+// rngFor derives a deterministic sub-RNG.
+func (h *Home) rngFor(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(h.cfg.Seed*31 + salt))
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threegol/internal/hls"
+	"threegol/internal/scheduler"
+)
+
+// startVoDProxy serves the handler on a test server against the given
+// origin with no shaping (unit-level behaviour checks).
+func startVoDProxy(t *testing.T, origin string, routes []Route) *httptest.Server {
+	t.Helper()
+	h, err := NewVoDProxy(http.DefaultClient, routes, origin, scheduler.Greedy, scheduler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestNewVoDProxyRejectsBadOrigin(t *testing.T) {
+	if _, err := NewVoDProxy(nil, nil, "::bad::", scheduler.Greedy, scheduler.Options{}); err == nil {
+		t.Error("bad origin URL accepted")
+	}
+}
+
+func TestVoDProxyPassthroughNonPlaylist(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/other.bin" {
+			w.Header().Set("X-Custom", "yes")
+			w.Write([]byte("raw bytes"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer origin.Close()
+	proxy := startVoDProxy(t, origin.URL, nil)
+
+	resp, err := http.Get(proxy.URL + "/other.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "raw bytes" || resp.Header.Get("X-Custom") != "yes" {
+		t.Errorf("passthrough mangled response: %q %v", body, resp.Header)
+	}
+	// 404s pass through too.
+	resp, err = http.Get(proxy.URL + "/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestVoDProxyMasterPlaylistDoesNotTriggerPrefetch(t *testing.T) {
+	video := hls.Video{Name: "v", Duration: 20, SegmentDur: 10,
+		Qualities: []hls.Quality{{Name: "q1", Bitrate: 100_000}}}
+	origin := httptest.NewServer(hls.NewOrigin(video))
+	defer origin.Close()
+	proxy := startVoDProxy(t, origin.URL, nil)
+
+	resp, err := http.Get(proxy.URL + "/v/master.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "EXT-X-STREAM-INF") {
+		t.Fatalf("master playlist not forwarded: %q", body)
+	}
+	// A master playlist lists variants, not segments; the prefetch state
+	// must stay empty until a media playlist passes through.
+	resp, err = http.Get(proxy.URL + "/v/q1/seg0000.ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, _ := io.Copy(io.Discard, resp.Body)
+	if n != 100_000*10/8 {
+		t.Errorf("segment passthrough moved %d bytes", n)
+	}
+}
+
+func TestVoDProxyMediaPlaylistPrefetchesOnce(t *testing.T) {
+	var segRequests atomic.Int32
+	video := hls.Video{Name: "v", Duration: 20, SegmentDur: 10,
+		Qualities: []hls.Quality{{Name: "q1", Bitrate: 100_000}}}
+	inner := hls.NewOrigin(video)
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, ".ts") {
+			segRequests.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer origin.Close()
+	proxy := startVoDProxy(t, origin.URL, nil)
+
+	// Fetch the media playlist twice: the prefetch must only run once.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(proxy.URL + "/v/q1/playlist.m3u8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && segRequests.Load() < 2 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // would-be duplicate prefetch window
+	if got := segRequests.Load(); got != 2 {
+		t.Errorf("origin saw %d segment fetches, want exactly 2 (one prefetch)", got)
+	}
+
+	// The player's subsequent segment GET is served from the cache (no
+	// third origin hit).
+	resp, err := http.Get(proxy.URL + "/v/q1/seg0000.ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if n != 100_000*10/8 {
+		t.Errorf("cached segment was %d bytes", n)
+	}
+	if got := segRequests.Load(); got != 2 {
+		t.Errorf("cache miss: origin saw %d segment fetches", got)
+	}
+}
+
+func TestVoDProxyUnreachableOrigin(t *testing.T) {
+	proxy := startVoDProxy(t, "http://127.0.0.1:1", nil)
+	resp, err := http.Get(proxy.URL + "/v/master.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestBaselineVoDBadQuality(t *testing.T) {
+	origin := httptest.NewServer(hls.NewOrigin(testVideo()))
+	defer origin.Close()
+	h := testHome(t)
+	if _, err := h.BaselineVoD(context.Background(), origin.URL, "/clip/master.m3u8", 0.2, "q99"); err == nil {
+		t.Error("unknown quality accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Package discovery implements the Bonjour-like advertisement protocol of
+// the paper's architecture (§2.4): each 3GOL device announces its proxy
+// endpoint on the home LAN *only while it is allowed to onload* (it holds
+// a permit in the network-integrated mode, or has remaining quota in the
+// multi-provider mode). The client browses these announcements to build
+// the admissible set Φ handed to the multipath scheduler.
+//
+// Announcements are JSON datagrams over UDP, refreshed periodically;
+// entries that stop being refreshed expire after TTL, which is how a
+// device silently withdraws when its permit is revoked.
+package discovery
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Announcement is one device's advertisement.
+type Announcement struct {
+	// Name identifies the device ("galaxy-s2-kitchen").
+	Name string `json:"name"`
+	// ProxyAddr is the host:port of the device's HTTP proxy on the LAN.
+	ProxyAddr string `json:"proxy_addr"`
+	// AllowanceBytes is the remaining 3GOL quota A(t) the device is
+	// willing to carry today (0 = unlimited / network-integrated).
+	AllowanceBytes int64 `json:"allowance_bytes"`
+}
+
+// DefaultInterval is the default beacon refresh period.
+const DefaultInterval = 500 * time.Millisecond
+
+// Beacon periodically announces one device to a Browser's UDP endpoint.
+// The paper's devices advertise over multicast DNS; on the emulated LAN a
+// unicast datagram to the gateway's discovery port carries the same
+// information.
+type Beacon struct {
+	// Target is the Browser's UDP address.
+	Target string
+	// Announce produces the current announcement, or false to stay
+	// silent this round (no permit / no quota) — the admission control
+	// point of the architecture.
+	Announce func() (Announcement, bool)
+	// Interval between beacons; 0 selects DefaultInterval.
+	Interval time.Duration
+
+	mu   sync.Mutex
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start launches the beacon loop. It returns an error if the target
+// address does not resolve. Calling Start on a running beacon panics.
+func (b *Beacon) Start() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stop != nil {
+		panic("discovery: Beacon started twice")
+	}
+	if b.Announce == nil {
+		return fmt.Errorf("discovery: Beacon has no Announce func")
+	}
+	addr, err := net.ResolveUDPAddr("udp", b.Target)
+	if err != nil {
+		return fmt.Errorf("discovery: resolving %q: %w", b.Target, err)
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return fmt.Errorf("discovery: dialing %q: %w", b.Target, err)
+	}
+	interval := b.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	stop := make(chan struct{})
+	b.stop = stop
+	b.wg.Add(1)
+	// The loop must select on its own copy of the channel: Stop nils
+	// b.stop before closing it, and a select on a nil channel blocks
+	// forever.
+	go func() {
+		defer b.wg.Done()
+		defer conn.Close()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		b.send(conn) // announce immediately
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				b.send(conn)
+			}
+		}
+	}()
+	return nil
+}
+
+func (b *Beacon) send(conn *net.UDPConn) {
+	ann, ok := b.Announce()
+	if !ok {
+		return
+	}
+	payload, err := json.Marshal(ann)
+	if err != nil {
+		return
+	}
+	conn.Write(payload)
+}
+
+// Stop halts the beacon. Safe to call twice.
+func (b *Beacon) Stop() {
+	b.mu.Lock()
+	stop := b.stop
+	b.stop = nil
+	b.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	b.wg.Wait()
+}
+
+// Browser listens for announcements and maintains the live device table.
+type Browser struct {
+	// TTL is how long an entry survives without a refresh; 0 selects
+	// 3×DefaultInterval.
+	TTL time.Duration
+
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	entries map[string]entry
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type entry struct {
+	ann  Announcement
+	seen time.Time
+}
+
+// Listen binds the browser to a UDP address (use "127.0.0.1:0" in tests)
+// and starts receiving. It returns the bound address for beacons to
+// target.
+func (br *Browser) Listen(addr string) (string, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", fmt.Errorf("discovery: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return "", fmt.Errorf("discovery: listening on %q: %w", addr, err)
+	}
+	br.mu.Lock()
+	br.conn = conn
+	br.entries = make(map[string]entry)
+	br.mu.Unlock()
+	br.wg.Add(1)
+	go br.receive(conn)
+	return conn.LocalAddr().String(), nil
+}
+
+func (br *Browser) receive(conn *net.UDPConn) {
+	defer br.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		var ann Announcement
+		if err := json.Unmarshal(buf[:n], &ann); err != nil || ann.Name == "" {
+			continue // malformed datagram: ignore
+		}
+		br.mu.Lock()
+		if !br.closed {
+			br.entries[ann.Name] = entry{ann: ann, seen: time.Now()}
+		}
+		br.mu.Unlock()
+	}
+}
+
+func (br *Browser) ttl() time.Duration {
+	if br.TTL > 0 {
+		return br.TTL
+	}
+	return 3 * DefaultInterval
+}
+
+// Devices returns the announcements seen within TTL — the admissible set
+// Φ at this instant.
+func (br *Browser) Devices() []Announcement {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	cutoff := time.Now().Add(-br.ttl())
+	out := make([]Announcement, 0, len(br.entries))
+	for name, e := range br.entries {
+		if e.seen.Before(cutoff) {
+			delete(br.entries, name)
+			continue
+		}
+		out = append(out, e.ann)
+	}
+	return out
+}
+
+// WaitFor blocks until at least n devices are visible or the timeout
+// elapses, returning the set either way.
+func (br *Browser) WaitFor(n int, timeout time.Duration) []Announcement {
+	deadline := time.Now().Add(timeout)
+	for {
+		devs := br.Devices()
+		if len(devs) >= n || time.Now().After(deadline) {
+			return devs
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close stops the browser.
+func (br *Browser) Close() {
+	br.mu.Lock()
+	br.closed = true
+	conn := br.conn
+	br.conn = nil
+	br.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+		br.wg.Wait()
+	}
+}

@@ -1,0 +1,218 @@
+package discovery
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fixedAnnounce(name, addr string) func() (Announcement, bool) {
+	return func() (Announcement, bool) {
+		return Announcement{Name: name, ProxyAddr: addr, AllowanceBytes: 1 << 20}, true
+	}
+}
+
+func TestBeaconAndBrowser(t *testing.T) {
+	br := &Browser{}
+	addr, err := br.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+
+	b := &Beacon{Target: addr, Announce: fixedAnnounce("ph1", "10.0.0.2:8080"), Interval: 20 * time.Millisecond}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	devs := br.WaitFor(1, 2*time.Second)
+	if len(devs) != 1 {
+		t.Fatalf("devices = %d, want 1", len(devs))
+	}
+	if devs[0].Name != "ph1" || devs[0].ProxyAddr != "10.0.0.2:8080" {
+		t.Errorf("announcement = %+v", devs[0])
+	}
+	if devs[0].AllowanceBytes != 1<<20 {
+		t.Errorf("allowance = %d", devs[0].AllowanceBytes)
+	}
+}
+
+func TestMultipleDevicesFormAdmissibleSet(t *testing.T) {
+	br := &Browser{}
+	addr, err := br.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+
+	for _, name := range []string{"ph1", "ph2", "ph3"} {
+		b := &Beacon{Target: addr, Announce: fixedAnnounce(name, name+":1"), Interval: 20 * time.Millisecond}
+		if err := b.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer b.Stop()
+	}
+	devs := br.WaitFor(3, 2*time.Second)
+	if len(devs) != 3 {
+		t.Fatalf("admissible set = %d devices, want 3", len(devs))
+	}
+}
+
+func TestSilentBeaconNeverAppears(t *testing.T) {
+	br := &Browser{}
+	addr, err := br.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+
+	b := &Beacon{
+		Target:   addr,
+		Announce: func() (Announcement, bool) { return Announcement{}, false },
+		Interval: 10 * time.Millisecond,
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	time.Sleep(100 * time.Millisecond)
+	if devs := br.Devices(); len(devs) != 0 {
+		t.Errorf("gated device appeared: %+v", devs)
+	}
+}
+
+func TestEntryExpiresAfterTTL(t *testing.T) {
+	br := &Browser{TTL: 80 * time.Millisecond}
+	addr, err := br.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+
+	var silent atomic.Bool
+	b := &Beacon{
+		Target: addr,
+		Announce: func() (Announcement, bool) {
+			if silent.Load() {
+				return Announcement{}, false
+			}
+			return Announcement{Name: "ph1", ProxyAddr: "x:1"}, true
+		},
+		Interval: 15 * time.Millisecond,
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	if devs := br.WaitFor(1, 2*time.Second); len(devs) != 1 {
+		t.Fatal("device never appeared")
+	}
+	// Revoke: device goes quiet (permit lost); entry must expire.
+	silent.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(br.Devices()) == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("entry did not expire after beacon went silent")
+}
+
+func TestBrowserIgnoresMalformedDatagrams(t *testing.T) {
+	br := &Browser{}
+	addr, err := br.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+
+	udpAddr, _ := net.ResolveUDPAddr("udp", addr)
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("not json"))
+	conn.Write([]byte(`{"proxy_addr":"x"}`)) // missing name
+	time.Sleep(50 * time.Millisecond)
+	if devs := br.Devices(); len(devs) != 0 {
+		t.Errorf("malformed datagrams created entries: %+v", devs)
+	}
+}
+
+func TestBeaconStartErrors(t *testing.T) {
+	b := &Beacon{Target: "127.0.0.1:1"}
+	if err := b.Start(); err == nil {
+		b.Stop()
+		t.Error("missing Announce accepted")
+	}
+	b2 := &Beacon{Target: "://bad", Announce: fixedAnnounce("x", "y")}
+	if err := b2.Start(); err == nil {
+		b2.Stop()
+		t.Error("bad target accepted")
+	}
+}
+
+func TestBeaconDoubleStopSafe(t *testing.T) {
+	br := &Browser{}
+	addr, _ := br.Listen("127.0.0.1:0")
+	defer br.Close()
+	b := &Beacon{Target: addr, Announce: fixedAnnounce("x", "y")}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	b.Stop() // must not panic or hang
+}
+
+func TestBeaconRestartAfterStop(t *testing.T) {
+	br := &Browser{}
+	addr, _ := br.Listen("127.0.0.1:0")
+	defer br.Close()
+	b := &Beacon{Target: addr, Announce: fixedAnnounce("x", "y"), Interval: 10 * time.Millisecond}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	if err := b.Start(); err != nil {
+		t.Fatalf("restart failed: %v", err)
+	}
+	defer b.Stop()
+	if devs := br.WaitFor(1, 2*time.Second); len(devs) != 1 {
+		t.Error("restarted beacon not visible")
+	}
+}
+
+func TestRefreshUpdatesAllowance(t *testing.T) {
+	br := &Browser{}
+	addr, _ := br.Listen("127.0.0.1:0")
+	defer br.Close()
+	var allowance atomic.Int64
+	allowance.Store(100)
+	b := &Beacon{
+		Target: addr,
+		Announce: func() (Announcement, bool) {
+			return Announcement{Name: "ph1", ProxyAddr: "x:1", AllowanceBytes: allowance.Load()}, true
+		},
+		Interval: 15 * time.Millisecond,
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	br.WaitFor(1, 2*time.Second)
+	allowance.Store(42)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		devs := br.Devices()
+		if len(devs) == 1 && devs[0].AllowanceBytes == 42 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("refreshed allowance never observed")
+}

@@ -1,0 +1,84 @@
+// Package diurnal provides the 24-hour traffic-shape profiles used across
+// the repository: the normalised mobile and wired curves of the paper's
+// Fig. 1, plus helpers to build custom profiles. A profile maps an hour of
+// day (fractional, wraps modulo 24) to a normalised load in [0,1].
+package diurnal
+
+import "math"
+
+// Profile is a 24-hour load shape. Values are normalised so the daily
+// peak is 1.0. Lookups interpolate linearly between hourly anchors and
+// wrap around midnight.
+type Profile struct {
+	hourly [24]float64
+}
+
+// New builds a Profile from 24 hourly anchor values (hour 0..23). Values
+// are normalised so that the maximum becomes 1; an all-zero input yields
+// an all-zero profile.
+func New(hourly [24]float64) Profile {
+	var peak float64
+	for _, v := range hourly {
+		if v > peak {
+			peak = v
+		}
+	}
+	p := Profile{}
+	if peak == 0 {
+		return p
+	}
+	for i, v := range hourly {
+		p.hourly[i] = v / peak
+	}
+	return p
+}
+
+// At returns the normalised load at hour h (fractional; wraps mod 24).
+func (p Profile) At(h float64) float64 {
+	h = math.Mod(h, 24)
+	if h < 0 {
+		h += 24
+	}
+	lo := int(h) % 24
+	hi := (lo + 1) % 24
+	frac := h - math.Floor(h)
+	return p.hourly[lo]*(1-frac) + p.hourly[hi]*frac
+}
+
+// AtTime returns the load at an absolute simulation time given in seconds
+// since midnight of day zero.
+func (p Profile) AtTime(seconds float64) float64 {
+	return p.At(seconds / 3600)
+}
+
+// PeakHour returns the first hour (0..23) at which the profile reaches
+// its maximum anchor value.
+func (p Profile) PeakHour() int {
+	best, bh := -1.0, 0
+	for i, v := range p.hourly {
+		if v > best {
+			best, bh = v, i
+		}
+	}
+	return bh
+}
+
+// Mobile is the normalised cellular data-traffic curve of the paper's
+// Fig. 1: a pronounced diurnal pattern, quiet between 03:00 and 06:00,
+// climbing through the working day to an evening peak around 21:00.
+var Mobile = New([24]float64{
+	0.35, 0.25, 0.17, 0.12, 0.10, 0.11, // 00..05
+	0.16, 0.28, 0.42, 0.54, 0.62, 0.68, // 06..11
+	0.73, 0.76, 0.74, 0.72, 0.75, 0.80, // 12..17
+	0.86, 0.92, 0.97, 1.00, 0.90, 0.60, // 18..23
+})
+
+// Wired is the normalised DSLAM traffic curve of Fig. 1: flatter through
+// the day than mobile, with a later and sharper residential evening peak
+// around 22:00–23:00.
+var Wired = New([24]float64{
+	0.45, 0.32, 0.22, 0.16, 0.13, 0.13, // 00..05
+	0.15, 0.20, 0.28, 0.36, 0.42, 0.47, // 06..11
+	0.52, 0.55, 0.54, 0.55, 0.58, 0.64, // 12..17
+	0.60, 0.68, 0.74, 0.80, 1.00, 0.85, // 18..23
+})

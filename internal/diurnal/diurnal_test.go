@@ -1,0 +1,105 @@
+package diurnal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalises(t *testing.T) {
+	var anchors [24]float64
+	for i := range anchors {
+		anchors[i] = float64(i + 1)
+	}
+	p := New(anchors)
+	if got := p.At(23); got != 1 {
+		t.Errorf("peak = %v, want 1", got)
+	}
+	if got := p.At(0); got != 1.0/24 {
+		t.Errorf("At(0) = %v, want %v", got, 1.0/24)
+	}
+}
+
+func TestAllZeroProfile(t *testing.T) {
+	p := New([24]float64{})
+	if got := p.At(12); got != 0 {
+		t.Errorf("zero profile At(12) = %v, want 0", got)
+	}
+}
+
+func TestInterpolation(t *testing.T) {
+	var anchors [24]float64
+	anchors[10] = 1
+	anchors[11] = 0.5
+	p := New(anchors)
+	if got := p.At(10.5); got != 0.75 {
+		t.Errorf("At(10.5) = %v, want 0.75", got)
+	}
+}
+
+func TestWrapAroundMidnight(t *testing.T) {
+	var anchors [24]float64
+	anchors[23] = 1
+	anchors[0] = 0.5
+	p := New(anchors)
+	if got := p.At(23.5); got != 0.75 {
+		t.Errorf("At(23.5) = %v, want 0.75 (wrap)", got)
+	}
+	if got, want := p.At(-1), p.At(23); got != want {
+		t.Errorf("At(-1) = %v, want At(23) = %v", got, want)
+	}
+	if got, want := p.At(25), p.At(1); got != want {
+		t.Errorf("At(25) = %v, want At(1) = %v", got, want)
+	}
+}
+
+func TestAtTime(t *testing.T) {
+	var anchors [24]float64
+	anchors[2] = 1
+	p := New(anchors)
+	if got, want := p.AtTime(2*3600), 1.0; got != want {
+		t.Errorf("AtTime(7200s) = %v, want %v", got, want)
+	}
+	// Next day, same hour.
+	if got, want := p.AtTime((24+2)*3600), 1.0; got != want {
+		t.Errorf("AtTime(+24h) = %v, want %v", got, want)
+	}
+}
+
+func TestPaperCurveShapes(t *testing.T) {
+	// Fig 1 structure: mobile peaks in the evening, earlier than wired;
+	// both have a pre-dawn trough.
+	if mp := Mobile.PeakHour(); mp != 21 {
+		t.Errorf("mobile peak hour = %d, want 21", mp)
+	}
+	if wp := Wired.PeakHour(); wp != 22 {
+		t.Errorf("wired peak hour = %d, want 22", wp)
+	}
+	if Mobile.At(4) > 0.2 {
+		t.Errorf("mobile 4am load = %v, want a trough (<0.2)", Mobile.At(4))
+	}
+	if Wired.At(4) > 0.2 {
+		t.Errorf("wired 4am load = %v, want a trough (<0.2)", Wired.At(4))
+	}
+	// The non-alignment the paper exploits: at mobile peak, wired is
+	// below its own peak and vice versa.
+	if Wired.At(21) >= 1 {
+		t.Error("wired should not be at peak during mobile peak hour")
+	}
+}
+
+// Property: profiles are always within [0,1] everywhere.
+func TestProfileBoundedProperty(t *testing.T) {
+	f := func(anchors [24]float64, h float64) bool {
+		for i := range anchors {
+			if anchors[i] < 0 {
+				anchors[i] = -anchors[i]
+			}
+		}
+		p := New(anchors)
+		v := p.At(h)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

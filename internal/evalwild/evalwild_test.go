@@ -1,0 +1,219 @@
+package evalwild
+
+import (
+	"testing"
+	"time"
+)
+
+// quick returns a Setup small enough for CI: one rep, aggressive time
+// scale. Shape assertions stay valid because ratios are scale-invariant.
+func quick() Setup {
+	// Note: these tests measure wall-clock behaviour of shaped TCP; run
+	// them on an otherwise idle machine. The time scale amplifies any
+	// host-induced delay by the same factor it accelerates the emulation.
+	return Setup{TimeScale: 80, Seed: 42, Reps: 1, Variability: 0.2}
+}
+
+func TestFig6SchedulerOrdering(t *testing.T) {
+	rows, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 phone-counts × 4 qualities × 4 schemes.
+	if len(rows) != 32 {
+		t.Fatalf("rows = %d, want 32", len(rows))
+	}
+	get := func(q, scheme string, phones int) time.Duration {
+		for _, r := range rows {
+			if r.Quality == q && r.Scheme == scheme && r.Phones == phones {
+				return r.Mean
+			}
+		}
+		t.Fatalf("missing row %s/%s/%d", q, scheme, phones)
+		return 0
+	}
+	// Individual cells are noisy at low rep counts; the paper's claims
+	// are about the aggregate ordering, so compare totals across the
+	// four qualities.
+	total := func(scheme string, phones int) time.Duration {
+		var sum time.Duration
+		for _, q := range []string{"q1", "q2", "q3", "q4"} {
+			sum += get(q, scheme, phones)
+		}
+		return sum
+	}
+	for _, phones := range []int{1, 2} {
+		adsl := total("ADSL", phones)
+		grd := total("3GOL_GRD", phones)
+		rr := total("3GOL_RR", phones)
+		min := total("3GOL_MIN", phones)
+		// Every 3GOL scheduler beats ADSL alone in aggregate.
+		for name, d := range map[string]time.Duration{"GRD": grd, "RR": rr, "MIN": min} {
+			if d >= adsl {
+				t.Errorf("%dph: %s (%v) not faster than ADSL (%v)", phones, name, d, adsl)
+			}
+		}
+		// The paper's ordering: GRD best (small tolerance for MIN ties
+		// at low reps — the full 30-rep harness separates them).
+		if float64(grd) >= float64(rr)*1.02 {
+			t.Errorf("%dph: GRD (%v) not better than RR (%v)", phones, grd, rr)
+		}
+		if float64(grd) >= float64(min)*1.10 {
+			t.Errorf("%dph: GRD (%v) well behind MIN (%v)", phones, grd, min)
+		}
+		// Download time grows with quality for the baseline.
+		if get("q4", "ADSL", phones) <= get("q1", "ADSL", phones) {
+			t.Errorf("%dph: ADSL q4 not slower than q1", phones)
+		}
+	}
+	// Two phones beat one for GRD in aggregate.
+	if total("3GOL_GRD", 2) >= total("3GOL_GRD", 1) {
+		t.Error("2 phones not faster than 1 for GRD")
+	}
+}
+
+func TestFig7GainsGrowWithQualityAndPrebuffer(t *testing.T) {
+	rows, err := Fig7(quick(), []string{"loc4"}, []float64{0.2, 1.0}, []string{"q1", "q4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 loc × 2 phones × 2 warm × 2 qualities × 2 prebufs = 16.
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	get := func(q string, pb float64, phones int, warm bool) float64 {
+		for _, r := range rows {
+			if r.Quality == q && r.Prebuffer == pb && r.Phones == phones && r.Warm == warm {
+				return r.GainSec
+			}
+		}
+		t.Fatalf("missing row")
+		return 0
+	}
+	// Gains grow with pre-buffer amount (more segments to parallelise).
+	if get("q4", 1.0, 2, true) <= get("q4", 0.2, 2, true) {
+		t.Error("gain at 100% prebuffer not above 20%")
+	}
+	// Gains grow with quality (bigger segments).
+	if get("q4", 1.0, 2, true) <= get("q1", 1.0, 2, true) {
+		t.Error("gain at q4 not above q1")
+	}
+	// Boost is a genuine gain at the full-download point.
+	if get("q4", 1.0, 1, false) <= 0 {
+		t.Error("no positive gain for 1 phone cold start at q4/100%")
+	}
+}
+
+func TestFig8ReductionsPositiveEverywhere(t *testing.T) {
+	// Fig8's fast-DSL locations produce short emulated transfers, where
+	// unscaled per-request overheads distort ratios at high time scales;
+	// run this one at a gentler acceleration.
+	s := quick()
+	s.TimeScale = 40
+	rows, err := Fig8(s, []string{"q3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 locations × 2 phones × 2 warm = 20.
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	byLoc := map[string]map[int]float64{}
+	for _, r := range rows {
+		if !r.Warm && r.ReductionPct <= 0 {
+			t.Errorf("%s/%dph/warm=%v: reduction %.1f%% not positive",
+				r.Location, r.Phones, r.Warm, r.ReductionPct)
+		}
+		if r.Warm && r.ReductionPct <= -10 {
+			t.Errorf("%s/%dph/warm: reduction %.1f%% strongly negative",
+				r.Location, r.Phones, r.ReductionPct)
+		}
+		if r.ReductionPct >= 100 {
+			t.Errorf("%s: reduction %.1f%% out of range", r.Location, r.ReductionPct)
+		}
+		if r.Warm {
+			continue
+		}
+		if byLoc[r.Location] == nil {
+			byLoc[r.Location] = map[int]float64{}
+		}
+		byLoc[r.Location][r.Phones] = r.ReductionPct
+	}
+	// The second device helps (paper: +5.9% to +26%). At one rep the
+	// per-location margin is within measurement noise, so assert the
+	// aggregate: mean reduction across locations improves with the
+	// second device.
+	var sum1, sum2 float64
+	for _, m := range byLoc {
+		sum1 += m[1]
+		sum2 += m[2]
+	}
+	if sum2 <= sum1*0.95 {
+		t.Errorf("second device mean reduction %.1f%% clearly below one-device %.1f%%",
+			sum2/5, sum1/5)
+	}
+}
+
+func TestFig9UploadSpeedups(t *testing.T) {
+	s := quick()
+	rows, err := Fig9(s, 8) // fewer photos for test speed
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 locations × 3 device counts.
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	byLoc := map[string]map[int]time.Duration{}
+	for _, r := range rows {
+		if byLoc[r.Location] == nil {
+			byLoc[r.Location] = map[int]time.Duration{}
+		}
+		byLoc[r.Location][r.Phones] = r.Mean
+	}
+	for loc, m := range byLoc {
+		if m[1] >= m[0] {
+			t.Errorf("%s: 1 phone (%v) not faster than ADSL (%v)", loc, m[1], m[0])
+		}
+		if m[2] >= m[0] {
+			t.Errorf("%s: 2 phones (%v) not faster than ADSL (%v)", loc, m[2], m[0])
+		}
+		// Paper: uplink speedup ×1.5–×4 with one device. loc2's fast
+		// ADSL2+ uplink against a weak-signal phone sits near the low
+		// end (capacity-additive ≈×1.2).
+		speedup := m[0].Seconds() / m[1].Seconds()
+		if speedup < 1.1 || speedup > 8 {
+			t.Errorf("%s: 1-phone upload speedup ×%.2f outside plausible range", loc, speedup)
+		}
+	}
+}
+
+func TestLTEComparisonShrinksBoostWindow(t *testing.T) {
+	rows, err := LTEComparison(quick(), "loc4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	g3, lte := rows[0], rows[1]
+	// LTE phones are far faster per device.
+	if lte.PhoneDown <= 2*g3.PhoneDown {
+		t.Errorf("LTE per-device %.1f Mbps not ≫ 3G %.1f", lte.PhoneDown/1e6, g3.PhoneDown/1e6)
+	}
+	// The paper's §2.3 claim: the powerboosting window gets much shorter.
+	if lte.BoostedStartup >= g3.BoostedStartup {
+		t.Errorf("LTE startup %v not below 3G %v", lte.BoostedStartup, g3.BoostedStartup)
+	}
+	if lte.BoostedTotal >= g3.BoostedTotal {
+		t.Errorf("LTE total %v not below 3G %v", lte.BoostedTotal, g3.BoostedTotal)
+	}
+	// LTE must beat the ADSL baseline startup even from a cold start —
+	// its promotion delay is negligible. (The 3G cold start at a 20%
+	// pre-buffer can tie the baseline: the 2 s RRC promotion eats the
+	// small-prebuffer gain, which is exactly the §2.3 motivation.)
+	if lte.BoostedStartup >= lte.BaselineStartup {
+		t.Errorf("LTE boost startup %v not below baseline %v",
+			lte.BoostedStartup, lte.BaselineStartup)
+	}
+}

@@ -1,0 +1,29 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkParseMediaPlaylist measures the proxy's per-interception cost.
+func BenchmarkParseMediaPlaylist(b *testing.B) {
+	o := NewOrigin(BipBop())
+	text := o.MediaPlaylist(BipBopQualities[2]).String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(strings.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeMediaPlaylist(b *testing.B) {
+	o := NewOrigin(BipBop())
+	pl := o.MediaPlaylist(BipBopQualities[2])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		pl.Encode(&sb)
+	}
+}

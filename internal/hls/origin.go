@@ -1,0 +1,216 @@
+package hls
+
+import (
+	"fmt"
+	"net/http"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// Quality describes one encoded rendition of a video.
+type Quality struct {
+	Name    string
+	Bitrate int // bits per second
+}
+
+// BipBopQualities are the four renditions of Apple's sample HLS stream
+// ("bipbop") that the paper's Fig. 6/7 experiments use: Q1=200 kbps,
+// Q2=311 kbps, Q3=484 kbps, Q4=738 kbps.
+var BipBopQualities = []Quality{
+	{Name: "q1", Bitrate: 200_000},
+	{Name: "q2", Bitrate: 311_000},
+	{Name: "q3", Bitrate: 484_000},
+	{Name: "q4", Bitrate: 738_000},
+}
+
+// Video describes a synthetic VoD asset.
+type Video struct {
+	Name       string
+	Duration   float64 // seconds; the paper uses 200 s (median YouTube length)
+	SegmentDur float64 // seconds per segment; the paper keeps bipbop's 10 s
+	Qualities  []Quality
+}
+
+// BipBop returns the paper's test video: 200 s, 10 s segments, four
+// qualities.
+func BipBop() Video {
+	return Video{Name: "bipbop", Duration: 200, SegmentDur: 10, Qualities: BipBopQualities}
+}
+
+// NumSegments returns the segment count (ceil of duration/segmentDur).
+func (v Video) NumSegments() int {
+	n := int(v.Duration / v.SegmentDur)
+	if float64(n)*v.SegmentDur < v.Duration {
+		n++
+	}
+	return n
+}
+
+// SegmentSize returns the byte size of segment i at the given bitrate.
+func (v Video) SegmentSize(q Quality, i int) int {
+	dur := v.SegmentDur
+	if last := v.NumSegments() - 1; i == last {
+		if rem := v.Duration - float64(last)*v.SegmentDur; rem > 0 {
+			dur = rem
+		}
+	}
+	return int(float64(q.Bitrate) * dur / 8)
+}
+
+// TotalBytes returns the full download size of one rendition.
+func (v Video) TotalBytes(q Quality) int {
+	var total int
+	for i := 0; i < v.NumSegments(); i++ {
+		total += v.SegmentSize(q, i)
+	}
+	return total
+}
+
+// QualityByName finds a rendition by name.
+func (v Video) QualityByName(name string) (Quality, bool) {
+	for _, q := range v.Qualities {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Quality{}, false
+}
+
+// Origin is an HTTP handler serving the video's master playlist, media
+// playlists and segments with deterministic synthetic content:
+//
+//	/<video>/master.m3u8
+//	/<video>/<quality>/playlist.m3u8
+//	/<video>/<quality>/seg<i>.ts
+type Origin struct {
+	video Video
+}
+
+// NewOrigin creates the origin handler. It panics when the video has no
+// qualities or a non-positive duration (a configuration error).
+func NewOrigin(v Video) *Origin {
+	if len(v.Qualities) == 0 || v.Duration <= 0 || v.SegmentDur <= 0 {
+		panic(fmt.Sprintf("hls: invalid video %+v", v))
+	}
+	return &Origin{video: v}
+}
+
+// Video returns the served asset description.
+func (o *Origin) Video() Video { return o.video }
+
+// MasterPlaylist builds the asset's master playlist.
+func (o *Origin) MasterPlaylist() *MasterPlaylist {
+	m := &MasterPlaylist{}
+	for _, q := range o.video.Qualities {
+		m.Variants = append(m.Variants, Variant{
+			URI:       q.Name + "/playlist.m3u8",
+			Bandwidth: q.Bitrate,
+		})
+	}
+	return m
+}
+
+// MediaPlaylist builds the media playlist for one rendition.
+func (o *Origin) MediaPlaylist(q Quality) *MediaPlaylist {
+	v := o.video
+	m := &MediaPlaylist{TargetDuration: v.SegmentDur, Ended: true}
+	n := v.NumSegments()
+	for i := 0; i < n; i++ {
+		dur := v.SegmentDur
+		if i == n-1 {
+			if rem := v.Duration - float64(n-1)*v.SegmentDur; rem > 0 {
+				dur = rem
+			}
+		}
+		m.Segments = append(m.Segments, Segment{
+			URI:      fmt.Sprintf("seg%04d.ts", i),
+			Duration: dur,
+		})
+	}
+	return m
+}
+
+// ServeHTTP implements http.Handler.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) < 2 || parts[0] != o.video.Name {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case len(parts) == 2 && parts[1] == "master.m3u8":
+		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+		o.MasterPlaylist().Encode(w)
+	case len(parts) == 3 && parts[2] == "playlist.m3u8":
+		q, ok := o.video.QualityByName(parts[1])
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+		o.MediaPlaylist(q).Encode(w)
+	case len(parts) == 3 && strings.HasPrefix(parts[2], "seg") && path.Ext(parts[2]) == ".ts":
+		q, ok := o.video.QualityByName(parts[1])
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		idxStr := strings.TrimSuffix(strings.TrimPrefix(parts[2], "seg"), ".ts")
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 || idx >= o.video.NumSegments() {
+			http.NotFound(w, r)
+			return
+		}
+		size := o.video.SegmentSize(q, idx)
+		w.Header().Set("Content-Type", "video/mp2t")
+		w.Header().Set("Content-Length", strconv.Itoa(size))
+		w.Header().Set("Cache-Control", "no-store") // the paper disables caching
+		if r.Method == http.MethodHead {
+			return
+		}
+		writeSyntheticBody(w, size, int64(idx)+hashString(q.Name))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// writeSyntheticBody streams size bytes of deterministic pseudo-random
+// data derived from seed, in chunks, without allocating the whole body.
+func writeSyntheticBody(w http.ResponseWriter, size int, seed int64) {
+	const chunk = 16 * 1024
+	buf := make([]byte, chunk)
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for size > 0 {
+		n := chunk
+		if size < n {
+			n = size
+		}
+		for i := 0; i < n; i++ {
+			// xorshift64* keeps the body incompressible enough that
+			// proxies cannot shrink it (the paper avoids compressing
+			// middleboxes by using random payloads).
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			buf[i] = byte(x * 2685821657736338717 >> 56)
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		size -= n
+	}
+}
+
+func hashString(s string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= int64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package integration
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestCLIPermitDaemon drives the operator-side 3golpermitd binary: feeds
+// it a utilisation stream on stdin and checks that permits flip from
+// granted to denied as the fed utilisation crosses the threshold.
+func TestCLIPermitDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildBinaries(t, "3golpermitd")
+	addr := freePort(t, "tcp")
+
+	cmd := exec.Command(bins["3golpermitd"],
+		"-listen", addr, "-threshold", "0.7", "-ttl", "1s", "-stdin-feed")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		stdin.Close()
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	waitForHTTP(t, "http://"+addr)
+
+	ask := func() (granted bool, util float64) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + "/permit?device=d1&cell=cellA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Granted     bool    `json:"granted"`
+			Utilization float64 `json:"utilization"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Granted, out.Utilization
+	}
+
+	// No feed data yet: default utilisation 0 → granted.
+	if granted, _ := ask(); !granted {
+		t.Fatal("idle cell denied")
+	}
+
+	// Feed congestion for cellA; permits must flip to denied.
+	fmt.Fprintln(stdin, "cellA 0.92")
+	deadline := time.Now().Add(3 * time.Second)
+	denied := false
+	for time.Now().Before(deadline) {
+		if granted, util := ask(); !granted && util > 0.9 {
+			denied = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !denied {
+		t.Fatal("congested cell still granted after feed update")
+	}
+
+	// Other cells are unaffected (fallback utilisation).
+	resp, err := http.Get("http://" + addr + "/permit?device=d1&cell=cellB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := json.NewDecoder(resp.Body)
+	var out struct {
+		Granted bool `json:"granted"`
+	}
+	if err := body.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !out.Granted {
+		t.Error("unrelated cell denied")
+	}
+
+	// Garbage feed lines are ignored without crashing the daemon.
+	fmt.Fprintln(stdin, "not a valid line with words")
+	fmt.Fprintln(stdin, "cellA notanumber")
+	time.Sleep(100 * time.Millisecond)
+	if granted, _ := ask(); granted {
+		t.Error("garbage feed lines altered cellA state")
+	}
+}

@@ -1,0 +1,52 @@
+package integration
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// multipartSink is a counting multipart-upload receiver for CLI tests.
+// It counts distinct filenames: the greedy scheduler's endgame may
+// deliver a duplicate replica of an item, which a real upload service
+// deduplicates by name.
+type multipartSink struct {
+	url string
+
+	mu    sync.Mutex
+	names map[string]bool
+}
+
+func newMultipartSink(t *testing.T) *multipartSink {
+	t.Helper()
+	s := &multipartSink{names: make(map[string]bool)}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mr, err := r.MultipartReader()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for {
+			part, err := mr.NextPart()
+			if err != nil {
+				break
+			}
+			io.Copy(io.Discard, part)
+			s.mu.Lock()
+			s.names[part.FileName()] = true
+			s.mu.Unlock()
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+	t.Cleanup(srv.Close)
+	s.url = srv.URL
+	return s
+}
+
+func (s *multipartSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.names)
+}

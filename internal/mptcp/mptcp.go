@@ -1,0 +1,162 @@
+// Package mptcp models why the paper's MPTCP experiment showed "no
+// benefit" (§5.2): MPTCP's coupled congestion control (LIA) deliberately
+// shifts load away from lossy, variable paths to stay fair to single-path
+// TCP at shared bottlenecks — exactly the wrong behaviour for a dedicated
+// 3G subflow, whose random wireless losses are not congestion. The
+// 3GOL application-layer scheduler has no such coupling and uses the
+// wireless path at its full (varying) capacity.
+//
+// The model is a per-RTT AIMD window simulation of N subflows with
+// per-path capacity and random (non-congestion) loss, comparing
+// uncoupled Reno-per-subflow against LIA-coupled increase.
+package mptcp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CongestionControl selects the window-increase rule.
+type CongestionControl int
+
+// Congestion control variants.
+const (
+	// Uncoupled runs an independent Reno instance per subflow (what the
+	// 3GOL scheduler effectively obtains from one TCP flow per path).
+	Uncoupled CongestionControl = iota
+	// Coupled applies MPTCP's Linked-Increases Algorithm across subflows.
+	Coupled
+)
+
+// String implements fmt.Stringer.
+func (c CongestionControl) String() string {
+	if c == Coupled {
+		return "coupled (LIA)"
+	}
+	return "uncoupled"
+}
+
+// PathModel describes one subflow's path.
+type PathModel struct {
+	Name string
+	// CapacityPkts is the path's capacity in packets per base round
+	// (one wired RTT).
+	CapacityPkts float64
+	// RandomLoss is the per-own-RTT probability of a non-congestion loss
+	// (wireless link-layer residue) that still halves the window.
+	RandomLoss float64
+	// RTTMultiple is the path's RTT as a multiple of the base round
+	// (HSPA RTTs are several times ADSL's); 0 means 1. A larger RTT
+	// slows the subflow's AIMD loop and stretches each window over more
+	// rounds.
+	RTTMultiple int
+}
+
+func (p PathModel) rtt() int {
+	if p.RTTMultiple <= 0 {
+		return 1
+	}
+	return p.RTTMultiple
+}
+
+// Result reports simulated per-path and aggregate goodput.
+type Result struct {
+	CC CongestionControl
+	// Goodput[i] is subflow i's mean delivered packets per RTT.
+	Goodput []float64
+	// Aggregate is the summed goodput (packets per RTT).
+	Aggregate float64
+	// Utilization[i] is Goodput[i]/Capacity[i].
+	Utilization []float64
+}
+
+// Simulate runs the AIMD model for the given number of RTT rounds. It
+// panics on an empty path list or non-positive capacities (configuration
+// errors).
+func Simulate(cc CongestionControl, paths []PathModel, rounds int, seed int64) Result {
+	if len(paths) == 0 {
+		panic("mptcp: no paths")
+	}
+	for _, p := range paths {
+		if p.CapacityPkts <= 0 {
+			panic(fmt.Sprintf("mptcp: path %q capacity %v", p.Name, p.CapacityPkts))
+		}
+	}
+	if rounds <= 0 {
+		rounds = 10000
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	w := make([]float64, len(paths))
+	for i := range w {
+		w[i] = 1
+	}
+	delivered := make([]float64, len(paths))
+
+	for r := 0; r < rounds; r++ {
+		var total float64
+		for _, wi := range w {
+			total += wi
+		}
+		for i, p := range paths {
+			rtt := p.rtt()
+			// A window's worth of packets spreads over one of this
+			// path's RTTs, i.e. w/rtt per base round, up to the path
+			// capacity prorated the same way.
+			d := w[i] / float64(rtt)
+			if max := p.CapacityPkts / float64(rtt); d > max {
+				d = max
+			}
+			delivered[i] += d
+
+			// AIMD updates happen once per own RTT.
+			if r%rtt != 0 {
+				continue
+			}
+			// Loss: buffer overflow (window beyond capacity) or random
+			// wireless loss.
+			lost := w[i] > p.CapacityPkts || rng.Float64() < p.RandomLoss
+			if lost {
+				w[i] /= 2
+				if w[i] < 1 {
+					w[i] = 1
+				}
+				continue
+			}
+			switch cc {
+			case Uncoupled:
+				w[i]++ // Reno: +1 MSS per RTT
+			case Coupled:
+				// LIA with a=1: per-ACK increase min(1/w_total, 1/w_i),
+				// ×w_i ACKs per RTT → min(w_i/w_total, 1).
+				inc := w[i] / total
+				if inc > 1 {
+					inc = 1
+				}
+				w[i] += inc
+			}
+		}
+	}
+
+	res := Result{
+		CC:          cc,
+		Goodput:     make([]float64, len(paths)),
+		Utilization: make([]float64, len(paths)),
+	}
+	for i, p := range paths {
+		res.Goodput[i] = delivered[i] / float64(rounds)
+		res.Aggregate += res.Goodput[i]
+		res.Utilization[i] = res.Goodput[i] / (p.CapacityPkts / float64(p.rtt()))
+	}
+	return res
+}
+
+// ADSLPlus3G returns the paper's scenario: a clean wired path plus a
+// lossy, comparably sized wireless path with a several-times-larger RTT
+// (capacities in packets per base round).
+func ADSLPlus3G() []PathModel {
+	return []PathModel{
+		{Name: "adsl", CapacityPkts: 20, RandomLoss: 0.001},
+		{Name: "3g", CapacityPkts: 18, RandomLoss: 0.06, RTTMultiple: 4},
+	}
+}

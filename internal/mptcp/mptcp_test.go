@@ -1,0 +1,80 @@
+package mptcp
+
+import "testing"
+
+func TestCoupledUnderutilisesLossyPath(t *testing.T) {
+	paths := ADSLPlus3G()
+	coupled := Simulate(Coupled, paths, 20000, 1)
+	uncoupled := Simulate(Uncoupled, paths, 20000, 1)
+
+	// The paper's observation: coupled CC yields no benefit because the
+	// wireless subflow is suppressed. Uncoupled must clearly beat it.
+	if coupled.Aggregate >= uncoupled.Aggregate {
+		t.Errorf("coupled aggregate %v not below uncoupled %v",
+			coupled.Aggregate, uncoupled.Aggregate)
+	}
+	// The wireless path specifically is the one being starved.
+	if coupled.Utilization[1] >= uncoupled.Utilization[1] {
+		t.Errorf("coupled 3G utilisation %v not below uncoupled %v",
+			coupled.Utilization[1], uncoupled.Utilization[1])
+	}
+}
+
+func TestCoupledNoBenefitOverSinglePath(t *testing.T) {
+	// MPTCP over ADSL+3G vs plain TCP over ADSL alone: the gain should be
+	// marginal (the paper: "it provided no benefit").
+	adslOnly := Simulate(Uncoupled, ADSLPlus3G()[:1], 20000, 2)
+	mptcp := Simulate(Coupled, ADSLPlus3G(), 20000, 2)
+	if mptcp.Aggregate > adslOnly.Aggregate*1.5 {
+		t.Errorf("coupled MPTCP aggregate %v ≫ ADSL-only %v; the model should "+
+			"show marginal benefit", mptcp.Aggregate, adslOnly.Aggregate)
+	}
+}
+
+func TestUncoupledApproachesCleanPathCapacity(t *testing.T) {
+	res := Simulate(Uncoupled, []PathModel{{Name: "clean", CapacityPkts: 20, RandomLoss: 0}}, 20000, 3)
+	// AIMD between W/2 and W utilises ≈75% of a droptail path.
+	if res.Utilization[0] < 0.6 || res.Utilization[0] > 1.0 {
+		t.Errorf("clean-path utilisation = %v, want ≈0.75", res.Utilization[0])
+	}
+}
+
+func TestGoodputNeverExceedsCapacity(t *testing.T) {
+	for _, cc := range []CongestionControl{Uncoupled, Coupled} {
+		res := Simulate(cc, ADSLPlus3G(), 5000, 4)
+		for i, g := range res.Goodput {
+			if g > ADSLPlus3G()[i].CapacityPkts {
+				t.Errorf("%v: path %d goodput %v exceeds capacity", cc, i, g)
+			}
+		}
+	}
+}
+
+func TestSimulatePanicsOnBadInput(t *testing.T) {
+	assertPanics(t, func() { Simulate(Coupled, nil, 100, 1) })
+	assertPanics(t, func() { Simulate(Coupled, []PathModel{{Name: "x", CapacityPkts: 0}}, 100, 1) })
+}
+
+func TestCongestionControlString(t *testing.T) {
+	if Uncoupled.String() != "uncoupled" || Coupled.String() != "coupled (LIA)" {
+		t.Error("String mismatch")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Simulate(Coupled, ADSLPlus3G(), 2000, 9)
+	b := Simulate(Coupled, ADSLPlus3G(), 2000, 9)
+	if a.Aggregate != b.Aggregate {
+		t.Error("same seed produced different results")
+	}
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

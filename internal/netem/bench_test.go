@@ -1,0 +1,23 @@
+package netem
+
+import "testing"
+
+// BenchmarkLimiterReserve measures the token-bucket hot path every shaped
+// byte goes through.
+func BenchmarkLimiterReserve(b *testing.B) {
+	l := NewLimiter(1e12, 1e12) // never blocks
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Reserve(16 * 1024 * 8)
+	}
+}
+
+func BenchmarkLimiterContended(b *testing.B) {
+	l := NewLimiter(1e12, 1e12)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Reserve(16 * 1024 * 8)
+		}
+	})
+}

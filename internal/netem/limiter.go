@@ -1,0 +1,101 @@
+// Package netem shapes real TCP connections to emulate the paper's
+// physical substrate: ADSL access links, the home Wi-Fi LAN, and HSPA
+// uplinks/downlinks. The prototype components (device proxy, HLS-aware
+// client proxy, multipath scheduler) run unmodified over loopback TCP;
+// netem inserts the rate limits, propagation delays and wireless rate
+// variability they would see in deployment.
+//
+// Every shape carries a TimeScale: with TimeScale S, configured rates are
+// multiplied by S and delays divided by S, so an experiment that would
+// take 127 wall-clock seconds on a real 2 Mbps ADSL line replays in
+// 127/S seconds with identical ratios. Reported durations are then
+// multiplied back by S at the harness level.
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter shared by any number of
+// connections; it emulates a capacity that several flows contend for
+// (the Wi-Fi BSS goodput cap, one phone's 3G radio, the ADSL line).
+// The zero value is unusable; construct with NewLimiter.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // bits per second (already time-scaled by the owner)
+	bucket float64 // available bits; may go negative (debt)
+	burst  float64 // bucket ceiling in bits
+	last   time.Time
+}
+
+// DefaultBurst is the default token-bucket depth: deep enough to keep
+// pipelines busy, shallow enough that rate changes take effect quickly.
+const DefaultBurst = 32 * 8 * 1024 // 32 KB in bits
+
+// NewLimiter creates a limiter. rate is in bits/s; burst ≤ 0 selects
+// DefaultBurst. A rate ≤ 0 means unlimited.
+func NewLimiter(rate, burst float64) *Limiter {
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	return &Limiter{rate: rate, bucket: burst, burst: burst, last: time.Now()}
+}
+
+// SetRate changes the limiter's rate (bits/s). Safe for concurrent use;
+// rate processes call this to emulate wireless variability.
+func (l *Limiter) SetRate(rate float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refill(time.Now())
+	l.rate = rate
+}
+
+// Rate returns the current rate in bits/s.
+func (l *Limiter) Rate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate
+}
+
+// refill adds tokens accrued since the last update. Caller holds mu.
+func (l *Limiter) refill(now time.Time) {
+	if l.rate > 0 {
+		l.bucket += l.rate * now.Sub(l.last).Seconds()
+		if l.bucket > l.burst {
+			l.bucket = l.burst
+		}
+	}
+	l.last = now
+}
+
+// Reserve deducts bits from the bucket and returns how long the caller
+// must wait before proceeding (zero when tokens were available). The
+// bucket may go into debt, which paces subsequent callers.
+func (l *Limiter) Reserve(bits float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rate <= 0 { // unlimited
+		return 0
+	}
+	now := time.Now()
+	l.refill(now)
+	l.bucket -= bits
+	if l.bucket >= 0 {
+		return 0
+	}
+	return time.Duration(-l.bucket / l.rate * float64(time.Second))
+}
+
+// Take reserves bits and sleeps out the returned debt.
+func (l *Limiter) Take(bits float64) {
+	if d := l.Reserve(bits); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (l *Limiter) String() string {
+	return fmt.Sprintf("limiter(%.0f bps)", l.Rate())
+}

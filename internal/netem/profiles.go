@@ -1,0 +1,164 @@
+package netem
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Goodput caps of the home Wi-Fi LAN for TCP flows, per the paper (§4.1):
+// every 3GOL participant hangs off the residential gateway's BSS, so all
+// paths share this aggregate.
+const (
+	WiFiGGoodput = 24e6  // 802.11g, bits/s
+	WiFiNGoodput = 110e6 // 802.11n, bits/s
+)
+
+// Typical one-way delays of the emulated hops.
+const (
+	WiFiLatency = 2 * time.Millisecond
+	ADSLLatency = 25 * time.Millisecond // interleaved ADSL
+	HSPALatency = 70 * time.Millisecond
+)
+
+// NewWiFiLimiter returns the shared BSS goodput cap for a home using
+// 802.11n (the paper's evaluation setup), pre-scaled by timeScale.
+func NewWiFiLimiter(goodput, timeScale float64) *Limiter {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return NewLimiter(goodput*timeScale, 0)
+}
+
+// ADSLPipe emulates a residential ADSL line: down/up are the sync rates
+// in bits/s. The same Pipe instance should shape the single gateway
+// uplink; per-connection private limiters would overcommit the line, so
+// the rates are exposed as shared limiters.
+func ADSLPipe(down, up, timeScale float64) (Pipe, *Limiter, *Limiter) {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	dl := NewLimiter(down*timeScale, 0)
+	ul := NewLimiter(up*timeScale, 0)
+	p := Pipe{
+		Down:      Shape{Shared: []*Limiter{dl}, Latency: ADSLLatency},
+		Up:        Shape{Shared: []*Limiter{ul}, Latency: ADSLLatency},
+		TimeScale: timeScale,
+	}
+	return p, dl, ul
+}
+
+// HSPAPipe emulates one phone's 3G path. The returned limiters carry the
+// radio rates so a RateProcess can wander them; stalls model wireless
+// loss recovery.
+func HSPAPipe(down, up, timeScale float64) (Pipe, *Limiter, *Limiter) {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	dl := NewLimiter(down*timeScale, 0)
+	ul := NewLimiter(up*timeScale, 0)
+	p := Pipe{
+		Down: Shape{
+			Shared: []*Limiter{dl}, Latency: HSPALatency,
+			Jitter: 20 * time.Millisecond, StallProb: 0.01, StallDelay: 120 * time.Millisecond,
+		},
+		Up: Shape{
+			Shared: []*Limiter{ul}, Latency: HSPALatency,
+			Jitter: 25 * time.Millisecond, StallProb: 0.015, StallDelay: 150 * time.Millisecond,
+		},
+		TimeScale: timeScale,
+	}
+	return p, dl, ul
+}
+
+// WiFiPipe emulates the in-home hop between a device and the gateway,
+// constrained by the shared BSS limiter.
+func WiFiPipe(bss *Limiter, timeScale float64) Pipe {
+	return Pipe{
+		Down:      Shape{Shared: []*Limiter{bss}, Latency: WiFiLatency, StallProb: 0.002, StallDelay: 30 * time.Millisecond},
+		Up:        Shape{Shared: []*Limiter{bss}, Latency: WiFiLatency, StallProb: 0.002, StallDelay: 30 * time.Millisecond},
+		TimeScale: timeScale,
+	}
+}
+
+// RateProcess wanders a limiter's rate to emulate HSPA channel
+// variability: an AR(1) (mean-reverting) multiplicative process clipped
+// to [MinFactor, MaxFactor]×Mean. It is the variability that defeats the
+// MIN scheduler's bandwidth estimator in the paper's Fig. 6.
+type RateProcess struct {
+	Limiter *Limiter
+	Mean    float64 // bits/s, already time-scaled
+	Std     float64 // relative std of the stationary distribution
+	// Interval between updates (wall clock, already time-scaled).
+	Interval time.Duration
+	// MinFactor/MaxFactor clip the multiplier (defaults 0.3 / 1.4).
+	MinFactor, MaxFactor float64
+
+	rng  *rand.Rand
+	mu   sync.Mutex
+	stop chan struct{}
+	wg   sync.WaitGroup
+	x    float64 // current multiplier
+}
+
+// Start launches the background updater. It panics if already running.
+func (r *RateProcess) Start(seed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil {
+		panic("netem: RateProcess started twice")
+	}
+	if r.MinFactor == 0 {
+		r.MinFactor = 0.3
+	}
+	if r.MaxFactor == 0 {
+		r.MaxFactor = 1.4
+	}
+	if r.Interval <= 0 {
+		r.Interval = 200 * time.Millisecond
+	}
+	r.rng = rand.New(rand.NewSource(seed))
+	r.x = 1
+	r.stop = make(chan struct{})
+	r.wg.Add(1)
+	go r.run(r.stop)
+}
+
+func (r *RateProcess) run(stop <-chan struct{}) {
+	defer r.wg.Done()
+	const phi = 0.8 // mean-reversion
+	ticker := time.NewTicker(r.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			r.mu.Lock()
+			noise := r.rng.NormFloat64() * r.Std
+			r.x = 1 + phi*(r.x-1) + noise
+			if r.x < r.MinFactor {
+				r.x = r.MinFactor
+			}
+			if r.x > r.MaxFactor {
+				r.x = r.MaxFactor
+			}
+			r.Limiter.SetRate(r.Mean * r.x)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// Stop halts the updater and restores the mean rate.
+func (r *RateProcess) Stop() {
+	r.mu.Lock()
+	stop := r.stop
+	r.stop = nil
+	r.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	r.wg.Wait()
+	r.Limiter.SetRate(r.Mean)
+}

@@ -1,0 +1,185 @@
+// Package permit implements the 3GOL backend of the network-integrated
+// deployment (§2.4): devices ask permission to onload; the backend
+// consults the cellular monitoring system and grants a time-limited
+// permit only while utilisation in the device's cell is below the
+// acceptance threshold. Devices cache the permit and stop advertising
+// themselves on the LAN the moment it lapses.
+package permit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultTTL is how long a granted permit stays valid ("a permit is
+// cached for a certain duration (few minutes)"); tests override it.
+const DefaultTTL = 3 * time.Minute
+
+// DefaultThreshold is the default utilisation acceptance threshold.
+const DefaultThreshold = 0.7
+
+// Backend is the operator-side permit server. It is an http.Handler
+// exposing GET /permit?device=<id>&cell=<id>.
+type Backend struct {
+	// Utilization reports current utilisation (0..1) of a cell — the
+	// interface to the 3G network monitoring system. Required. It is
+	// called from HTTP handler goroutines and must be safe for
+	// concurrent use (sample into an atomic snapshot rather than
+	// reaching into single-threaded state).
+	Utilization func(cellID string) float64
+	// Threshold is the acceptance threshold; 0 selects DefaultThreshold.
+	Threshold float64
+	// TTL is the permit lifetime; 0 selects DefaultTTL.
+	TTL time.Duration
+
+	mu      sync.Mutex
+	grants  int
+	denials int
+}
+
+// Response is the backend's JSON reply.
+type Response struct {
+	Granted    bool    `json:"granted"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+	// Utilization echoes the observed cell utilisation (diagnostics).
+	Utilization float64 `json:"utilization"`
+}
+
+func (b *Backend) threshold() float64 {
+	if b.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return b.Threshold
+}
+
+func (b *Backend) ttl() time.Duration {
+	if b.TTL <= 0 {
+		return DefaultTTL
+	}
+	return b.TTL
+}
+
+// ServeHTTP implements http.Handler.
+func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/permit" {
+		http.NotFound(w, r)
+		return
+	}
+	if b.Utilization == nil {
+		http.Error(w, "backend misconfigured: no monitoring hook", http.StatusInternalServerError)
+		return
+	}
+	cell := r.URL.Query().Get("cell")
+	if cell == "" {
+		http.Error(w, "missing cell parameter", http.StatusBadRequest)
+		return
+	}
+	util := b.Utilization(cell)
+	resp := Response{Utilization: util}
+	if util < b.threshold() {
+		resp.Granted = true
+		resp.TTLSeconds = b.ttl().Seconds()
+	}
+	b.mu.Lock()
+	if resp.Granted {
+		b.grants++
+	} else {
+		b.denials++
+	}
+	b.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// Stats reports how many requests were granted and denied.
+func (b *Backend) Stats() (grants, denials int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.grants, b.denials
+}
+
+// Client is the device-side permit cache. Allowed consults the cache and
+// refreshes from the backend when the permit has lapsed; it degrades to
+// "not allowed" when the backend is unreachable (fail-safe: no permit, no
+// onloading).
+type Client struct {
+	// BackendURL is the backend's base URL (scheme://host:port).
+	BackendURL string
+	// Device and Cell identify this device and its serving cell.
+	Device, Cell string
+	// HTTPClient issues the permit requests; nil uses a short-timeout
+	// default (the permit check sits on the request path).
+	HTTPClient *http.Client
+
+	mu      sync.Mutex
+	granted bool
+	expires time.Time
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// Allowed reports whether the device currently holds a valid permit,
+// refreshing from the backend as needed. It is safe for concurrent use
+// and suitable as a proxy.Server Admit hook and a discovery.Beacon gate.
+func (c *Client) Allowed() bool {
+	c.mu.Lock()
+	if time.Now().Before(c.expires) {
+		ok := c.granted
+		c.mu.Unlock()
+		return ok
+	}
+	c.mu.Unlock()
+
+	resp, err := c.fetch()
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		// Back off briefly on backend failure so a dead backend does not
+		// turn every request into a permit round-trip.
+		c.granted = false
+		c.expires = now.Add(2 * time.Second)
+		return false
+	}
+	c.granted = resp.Granted
+	ttl := time.Duration(resp.TTLSeconds * float64(time.Second))
+	if ttl <= 0 {
+		// Denials are re-checked after a short cool-down ("the
+		// transmission is denied, and the device does not advertise").
+		ttl = 5 * time.Second
+	}
+	c.expires = now.Add(ttl)
+	return c.granted
+}
+
+// Invalidate drops the cached permit, forcing a refresh on next use.
+func (c *Client) Invalidate() {
+	c.mu.Lock()
+	c.expires = time.Time{}
+	c.mu.Unlock()
+}
+
+func (c *Client) fetch() (*Response, error) {
+	url := fmt.Sprintf("%s/permit?device=%s&cell=%s", c.BackendURL, c.Device, c.Cell)
+	httpResp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("permit: requesting %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("permit: backend returned %s", httpResp.Status)
+	}
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("permit: decoding response: %w", err)
+	}
+	return &resp, nil
+}

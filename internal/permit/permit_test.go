@@ -1,0 +1,143 @@
+package permit
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackendGrantsBelowThreshold(t *testing.T) {
+	util := 0.3
+	var mu sync.Mutex
+	b := &Backend{
+		Utilization: func(cell string) float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return util
+		},
+		Threshold: 0.7,
+	}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	c := &Client{BackendURL: srv.URL, Device: "d1", Cell: "c1"}
+	if !c.Allowed() {
+		t.Error("permit denied below threshold")
+	}
+	grants, denials := b.Stats()
+	if grants != 1 || denials != 0 {
+		t.Errorf("stats = %d/%d, want 1/0", grants, denials)
+	}
+
+	// Congest the cell; the cached permit still holds until TTL.
+	mu.Lock()
+	util = 0.9
+	mu.Unlock()
+	if !c.Allowed() {
+		t.Error("cached permit should still be honoured")
+	}
+	// Force refresh: now denied.
+	c.Invalidate()
+	if c.Allowed() {
+		t.Error("permit granted above threshold after refresh")
+	}
+}
+
+func TestBackendDeniesAboveThreshold(t *testing.T) {
+	b := &Backend{Utilization: func(string) float64 { return 0.95 }}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+	c := &Client{BackendURL: srv.URL, Device: "d", Cell: "c"}
+	if c.Allowed() {
+		t.Error("permit granted for congested cell")
+	}
+	if g, d := b.Stats(); g != 0 || d != 1 {
+		t.Errorf("stats = %d/%d, want 0/1", g, d)
+	}
+}
+
+func TestPermitExpiresAfterTTL(t *testing.T) {
+	var mu sync.Mutex
+	util := 0.1
+	b := &Backend{
+		Utilization: func(string) float64 { mu.Lock(); defer mu.Unlock(); return util },
+		TTL:         50 * time.Millisecond,
+	}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+	c := &Client{BackendURL: srv.URL, Device: "d", Cell: "c"}
+	if !c.Allowed() {
+		t.Fatal("initial grant failed")
+	}
+	mu.Lock()
+	util = 0.99
+	mu.Unlock()
+	time.Sleep(80 * time.Millisecond) // past TTL
+	if c.Allowed() {
+		t.Error("expired permit not refreshed (should now be denied)")
+	}
+}
+
+func TestClientFailsSafeOnBackendDown(t *testing.T) {
+	c := &Client{BackendURL: "http://127.0.0.1:1", Device: "d", Cell: "c"}
+	if c.Allowed() {
+		t.Error("unreachable backend must deny onloading")
+	}
+}
+
+func TestBackendValidation(t *testing.T) {
+	b := &Backend{Utilization: func(string) float64 { return 0 }}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/permit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing cell param = %d, want 400", resp.StatusCode)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path = %d, want 404", resp.StatusCode)
+	}
+
+	misconfigured := httptest.NewServer(&Backend{})
+	defer misconfigured.Close()
+	resp, err = misconfigured.Client().Get(misconfigured.URL + "/permit?cell=c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Errorf("no monitoring hook = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestDeniedPermitRecheckedAfterCooldown(t *testing.T) {
+	var mu sync.Mutex
+	util := 0.99
+	calls := 0
+	b := &Backend{
+		Utilization: func(string) float64 { mu.Lock(); defer mu.Unlock(); calls++; return util },
+	}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+	c := &Client{BackendURL: srv.URL, Device: "d", Cell: "c"}
+	if c.Allowed() {
+		t.Fatal("should be denied")
+	}
+	// Within the cool-down, no new backend call.
+	c.Allowed()
+	mu.Lock()
+	if calls != 1 {
+		t.Errorf("backend called %d times within cool-down, want 1", calls)
+	}
+	mu.Unlock()
+}

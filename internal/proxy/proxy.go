@@ -1,0 +1,214 @@
+// Package proxy implements the 3GOL device component's HTTP proxy: it
+// accepts requests arriving over the home Wi-Fi and pipes them through
+// the device's 3G interface (§4.1). Plain HTTP requests (absolute-form,
+// as sent by clients configured with this proxy) are forwarded with a
+// transport bound to the 3G dialer; CONNECT tunnels are spliced raw.
+//
+// The proxy exposes two policy hooks that the two deployment modes of the
+// paper use: Admit gates service on a live permit (network-integrated
+// mode) or remaining quota (multi-provider mode), and OnBytes feeds the
+// quota tracker with 3G usage.
+package proxy
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dialer is the subset of net.Dialer the proxy needs; netem.Dialer and
+// net.Dialer both satisfy it.
+type Dialer interface {
+	DialContext(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// Server is the device-side proxy. Configure, then serve it on the Wi-Fi
+// listener with http.Serve(listener, server).
+type Server struct {
+	// Dial reaches the origin over the 3G interface. Required.
+	Dial Dialer
+	// Admit, when non-nil, is consulted per request; a false return
+	// yields 503 Service Unavailable (no permit / quota exhausted).
+	Admit func() bool
+	// OnBytes, when non-nil, receives the byte count of every completed
+	// request/response body and tunnel, feeding the quota tracker.
+	OnBytes func(n int64)
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+
+	transportOnce sync.Once
+	transport     *http.Transport
+
+	bytesTotal atomic.Int64
+}
+
+// BytesTotal reports all bytes the proxy has moved over the 3G interface.
+func (s *Server) BytesTotal() int64 { return s.bytesTotal.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) tr() *http.Transport {
+	s.transportOnce.Do(func() {
+		s.transport = &http.Transport{
+			DialContext:         s.Dial.DialContext,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     30 * time.Second,
+			// The 3G path is the product here: no proxy-of-proxy.
+			Proxy: nil,
+		}
+	})
+	return s.transport
+}
+
+// ServeHTTP implements http.Handler for proxy-form requests.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Dial == nil {
+		http.Error(w, "proxy misconfigured: no dialer", http.StatusInternalServerError)
+		return
+	}
+	if s.Admit != nil && !s.Admit() {
+		http.Error(w, "3GOL onloading not permitted", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method == http.MethodConnect {
+		s.serveTunnel(w, r)
+		return
+	}
+	if !r.URL.IsAbs() {
+		http.Error(w, "this is a proxy; absolute-form request required", http.StatusBadRequest)
+		return
+	}
+	s.serveHTTP1(w, r)
+}
+
+func (s *Server) serveHTTP1(w http.ResponseWriter, r *http.Request) {
+	out := r.Clone(r.Context())
+	out.RequestURI = "" // client-side field must be empty for RoundTrip
+	removeHopHeaders(out.Header)
+
+	resp, err := s.tr().RoundTrip(out)
+	if err != nil {
+		s.logf("proxy: %s %s: %v", r.Method, r.URL, err)
+		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	removeHopHeaders(resp.Header)
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	n, err := io.Copy(w, resp.Body)
+	s.account(n + approxRequestBytes(r))
+	if err != nil && !errors.Is(err, context.Canceled) {
+		s.logf("proxy: copying response for %s: %v", r.URL, err)
+	}
+}
+
+func (s *Server) serveTunnel(w http.ResponseWriter, r *http.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "hijacking unsupported", http.StatusInternalServerError)
+		return
+	}
+	upstream, err := s.Dial.DialContext(r.Context(), "tcp", r.Host)
+	if err != nil {
+		http.Error(w, "cannot reach "+r.Host, http.StatusBadGateway)
+		return
+	}
+	client, buf, err := hj.Hijack()
+	if err != nil {
+		upstream.Close()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer client.Close()
+	defer upstream.Close()
+	buf.WriteString("HTTP/1.1 200 Connection Established\r\n\r\n")
+	buf.Flush()
+
+	// Account incrementally so quota tracking sees tunnel traffic while
+	// the tunnel is still open (keep-alive tunnels can live for minutes).
+	done := make(chan struct{}, 2)
+	go func() { io.Copy(&accountingWriter{s: s, w: upstream}, client); done <- struct{}{} }()
+	go func() { io.Copy(&accountingWriter{s: s, w: client}, upstream); done <- struct{}{} }()
+	<-done
+	// Half-close semantics: give the other direction a moment, then tear
+	// down (both deferred Closes unblock the second copy).
+	select {
+	case <-done:
+	case <-time.After(500 * time.Millisecond):
+	}
+}
+
+// accountingWriter charges every byte written through it to the proxy's
+// 3G usage counters.
+type accountingWriter struct {
+	s *Server
+	w io.Writer
+}
+
+func (a *accountingWriter) Write(p []byte) (int, error) {
+	n, err := a.w.Write(p)
+	a.s.account(int64(n))
+	return n, err
+}
+
+func (s *Server) account(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.bytesTotal.Add(n)
+	if s.OnBytes != nil {
+		s.OnBytes(n)
+	}
+}
+
+// approxRequestBytes estimates uplink bytes of the forwarded request
+// (the request line and body length; headers are noise at 3GOL scales).
+func approxRequestBytes(r *http.Request) int64 {
+	n := int64(len(r.Method) + len(r.URL.String()) + 16)
+	if r.ContentLength > 0 {
+		n += r.ContentLength
+	}
+	return n
+}
+
+var hopHeaders = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func removeHopHeaders(h http.Header) {
+	for _, k := range hopHeaders {
+		h.Del(k)
+	}
+}
+
+// ListenAndServe starts the proxy on addr and returns the bound listener
+// address (useful with ":0") and a shutdown func.
+func (s *Server) ListenAndServe(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s, ErrorLog: log.New(io.Discard, "", 0)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}, nil
+}

@@ -1,0 +1,213 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+)
+
+// newProxyClient starts the proxy server and returns an http.Client that
+// routes through it, plus a shutdown func.
+func newProxyClient(t *testing.T, s *Server) (*http.Client, func()) {
+	t.Helper()
+	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyURL := &url.URL{Scheme: "http", Host: addr}
+	client := &http.Client{Transport: &http.Transport{
+		Proxy:           http.ProxyURL(proxyURL),
+		TLSClientConfig: &tls.Config{InsecureSkipVerify: true},
+	}}
+	return client, func() { shutdown() }
+}
+
+func TestProxyForwardsGET(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Origin", "yes")
+		w.Write(bytes.Repeat([]byte("d"), 4096))
+	}))
+	defer origin.Close()
+
+	s := &Server{Dial: &net.Dialer{}}
+	client, stop := newProxyClient(t, s)
+	defer stop()
+
+	resp, err := client.Get(origin.URL + "/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 4096 {
+		t.Errorf("body = %d bytes, want 4096", len(body))
+	}
+	if resp.Header.Get("X-Origin") != "yes" {
+		t.Error("origin headers not forwarded")
+	}
+	if s.BytesTotal() < 4096 {
+		t.Errorf("BytesTotal = %d, want ≥4096", s.BytesTotal())
+	}
+}
+
+func TestProxyAdmitGate(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer origin.Close()
+
+	var allowed atomic.Bool
+	s := &Server{Dial: &net.Dialer{}, Admit: func() bool { return allowed.Load() }}
+	client, stop := newProxyClient(t, s)
+	defer stop()
+
+	resp, err := client.Get(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unpermitted request = %s, want 503", resp.Status)
+	}
+
+	allowed.Store(true)
+	resp, err = client.Get(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("permitted request = %s, want 200", resp.Status)
+	}
+}
+
+func TestProxyOnBytesAccounting(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(bytes.Repeat([]byte("x"), 10000))
+	}))
+	defer origin.Close()
+
+	var counted atomic.Int64
+	s := &Server{Dial: &net.Dialer{}, OnBytes: func(n int64) { counted.Add(n) }}
+	client, stop := newProxyClient(t, s)
+	defer stop()
+
+	resp, err := client.Get(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if counted.Load() < 10000 {
+		t.Errorf("OnBytes counted %d, want ≥10000", counted.Load())
+	}
+}
+
+func TestProxyUpstreamFailure(t *testing.T) {
+	s := &Server{Dial: &net.Dialer{}}
+	client, stop := newProxyClient(t, s)
+	defer stop()
+	resp, err := client.Get("http://127.0.0.1:1/unreachable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unreachable upstream = %s, want 502", resp.Status)
+	}
+}
+
+func TestProxyRejectsRelativeForm(t *testing.T) {
+	s := &Server{Dial: &net.Dialer{}}
+	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	// Talk to the proxy as if it were an origin server (relative path).
+	resp, err := http.Get("http://" + addr + "/not-absolute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("relative-form request = %s, want 400", resp.Status)
+	}
+}
+
+func TestProxyMisconfiguredDialer(t *testing.T) {
+	s := &Server{}
+	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("no-dialer request = %s, want 500", resp.Status)
+	}
+}
+
+func TestProxyConnectTunnel(t *testing.T) {
+	origin := httptest.NewTLSServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("secure"))
+	}))
+	defer origin.Close()
+
+	s := &Server{Dial: &net.Dialer{}}
+	client, stop := newProxyClient(t, s)
+	defer stop()
+
+	resp, err := client.Get(origin.URL)
+	if err != nil {
+		t.Fatalf("CONNECT through proxy failed: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "secure" {
+		t.Errorf("tunnelled body = %q", body)
+	}
+	if s.BytesTotal() == 0 {
+		t.Error("tunnel bytes not accounted")
+	}
+}
+
+func TestProxyUsesProvidedDialer(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer origin.Close()
+
+	var dials atomic.Int32
+	s := &Server{Dial: countingDialer{&dials}}
+	client, stop := newProxyClient(t, s)
+	defer stop()
+
+	resp, err := client.Get(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dials.Load() == 0 {
+		t.Error("proxy did not use the provided (3G) dialer")
+	}
+}
+
+type countingDialer struct{ n *atomic.Int32 }
+
+func (d countingDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	d.n.Add(1)
+	var nd net.Dialer
+	return nd.DialContext(ctx, network, addr)
+}

@@ -1,0 +1,32 @@
+package quota_test
+
+import (
+	"fmt"
+
+	"threegol/internal/quota"
+)
+
+// The paper's §6 estimator on a user whose free capacity has been stable:
+// the guard barely bites and almost the whole mean is granted.
+func ExampleEstimator_MonthlyAllowance() {
+	e := quota.Estimator{} // paper defaults: τ=5, α=4
+	freeMB := []float64{600, 640, 590, 610, 620}
+	fmt.Printf("%.0f MB this month\n", e.MonthlyAllowance(freeMB))
+	// Output: 535 MB this month
+}
+
+// The on-device tracker gates advertisement the moment the daily
+// allowance runs out.
+func ExampleTracker() {
+	t := quota.NewTracker(20 << 20) // 20 MB/day
+	t.Use(15 << 20)
+	fmt.Println("advertising:", t.ShouldAdvertise())
+	t.Use(6 << 20)
+	fmt.Println("advertising:", t.ShouldAdvertise())
+	t.StartNewDay(20 << 20)
+	fmt.Println("advertising:", t.ShouldAdvertise())
+	// Output:
+	// advertising: true
+	// advertising: false
+	// advertising: true
+}

@@ -1,0 +1,698 @@
+// Package scheduler implements the paper's multipath transfer scheduler —
+// the component at the heart of 3GOL (§4.1.1). A transaction moves M
+// items (video segments, photos) over N paths (the ADSL line plus the
+// admissible set Φ of 3G devices) so as to minimise total transfer time.
+//
+// Three policies match the paper's Fig. 6 comparison, plus the paper's
+// deferred playout extension:
+//
+//   - Greedy (GRD): each path pulls the next unassigned item as soon as it
+//     goes idle; when no items remain, an idle path duplicates the oldest
+//     still-in-flight item, and the first replica to finish cancels the
+//     others. Wasted bytes are bounded by (N−1)·Sm, Sm the largest item.
+//   - RoundRobin (RR): items are dealt cyclically onto the paths up front.
+//   - MinTime (MIN): each item goes to the path with the smallest
+//     estimated completion time, with per-path bandwidth estimated by
+//     exponential smoothing (filter parameter 0.75) seeded round-robin —
+//     the estimator whose poor accuracy under wireless variability makes
+//     MIN the worst performer in the paper.
+//   - Playout: greedy with a head-of-line endgame — the in-order
+//     delivery variant the paper leaves as future work.
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Item is one unit of a transaction: an HLS segment, a photo, a file.
+type Item struct {
+	// ID indexes the item within its transaction (0-based, dense).
+	ID int
+	// Name is a diagnostic/transport label, e.g. the URI to fetch.
+	Name string
+	// Size is the item's size in bytes (used by MIN's estimator and for
+	// waste accounting; GRD and RR work even when 0).
+	Size int64
+}
+
+// Path is one transport channel: the direct ADSL route or one 3G device's
+// proxy. Transfer moves a single item, blocking until done, cancelled, or
+// failed; it returns the bytes actually moved (partial counts on abort).
+// Implementations must honour ctx cancellation promptly — the greedy
+// endgame relies on it to cancel losing replicas.
+type Path interface {
+	Name() string
+	Transfer(ctx context.Context, item Item) (int64, error)
+}
+
+// Algo selects a scheduling policy.
+type Algo int
+
+// Scheduling policies.
+const (
+	Greedy Algo = iota
+	RoundRobin
+	MinTime
+	// Playout is the paper's deferred extension (§4.1.1: "we could
+	// modify the scheduler to cover also the playout phase"): greedy
+	// assignment, but the endgame duplicates the head-of-line item —
+	// the lowest-ID incomplete segment, i.e. the one the player is
+	// blocked on — instead of the oldest-assigned one, trading a little
+	// total-transfer time for smoother in-order delivery.
+	Playout
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case Greedy:
+		return "GRD"
+	case RoundRobin:
+		return "RR"
+	case MinTime:
+		return "MIN"
+	case Playout:
+		return "PLAYOUT"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// Options tune a transaction.
+type Options struct {
+	// MinAlpha is MIN's exponential smoothing weight on the newest
+	// bandwidth sample. Zero selects the paper's 0.75.
+	MinAlpha float64
+	// InitialBandwidth seeds MIN's estimator per path (bits/s). Nil or
+	// missing entries default to 1 Mbps.
+	InitialBandwidth map[string]float64
+	// MaxRetries is how many times a failed item is re-queued before the
+	// transaction aborts. Zero selects 3.
+	MaxRetries int
+	// OnItemDone, when non-nil, fires at each item's first successful
+	// completion with the elapsed time since the transaction started.
+	// Callbacks are serialised.
+	OnItemDone func(Item, time.Duration)
+	// DisableDuplication turns off GRD's endgame re-assignment (the
+	// ablation knob for the paper's duplication design choice).
+	DisableDuplication bool
+}
+
+func (o Options) minAlpha() float64 {
+	if o.MinAlpha <= 0 || o.MinAlpha > 1 {
+		return 0.75
+	}
+	return o.MinAlpha
+}
+
+func (o Options) maxRetries() int {
+	if o.MaxRetries <= 0 {
+		return 3
+	}
+	return o.MaxRetries
+}
+
+// PathStats aggregates per-path activity within a Report.
+type PathStats struct {
+	Items int   // completed (winning) transfers
+	Bytes int64 // all bytes moved, including losing replicas
+}
+
+// Report is the outcome of a transaction.
+type Report struct {
+	Algo    Algo
+	Elapsed time.Duration
+	// ItemDone[i] is the elapsed time at which item i first completed.
+	ItemDone []time.Duration
+	// WastedBytes counts bytes moved by replicas that lost the endgame
+	// race (GRD only).
+	WastedBytes int64
+	// Duplicates counts endgame replica launches (GRD only).
+	Duplicates int
+	// PerPath maps path name to its activity.
+	PerPath map[string]PathStats
+}
+
+// TotalBytes sums all bytes moved over all paths (useful bytes + waste).
+func (r *Report) TotalBytes() int64 {
+	var t int64
+	for _, s := range r.PerPath {
+		t += s.Bytes
+	}
+	return t
+}
+
+// Run executes one transaction: transfers every item over the given paths
+// under the selected policy. It returns a Report on success. An error is
+// returned when ctx is cancelled or an item exhausts its retries on the
+// policy's designated path(s).
+func Run(ctx context.Context, algo Algo, items []Item, paths []Path, opts Options) (*Report, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("scheduler: no paths")
+	}
+	for i, it := range items {
+		if it.ID != i {
+			return nil, fmt.Errorf("scheduler: item %d has ID %d; IDs must be dense and ordered", i, it.ID)
+		}
+	}
+	rep := &Report{
+		Algo:     algo,
+		ItemDone: make([]time.Duration, len(items)),
+		PerPath:  make(map[string]PathStats, len(paths)),
+	}
+	for _, p := range paths {
+		rep.PerPath[p.Name()] = PathStats{}
+	}
+	if len(items) == 0 {
+		return rep, nil
+	}
+	start := time.Now()
+	var err error
+	switch algo {
+	case Greedy, Playout:
+		err = runGreedy(ctx, algo, items, paths, opts, rep, start)
+	case RoundRobin:
+		err = runRoundRobin(ctx, items, paths, opts, rep, start)
+	case MinTime:
+		err = runMinTime(ctx, items, paths, opts, rep, start)
+	default:
+		err = fmt.Errorf("scheduler: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// tracker serialises completion bookkeeping shared by all policies.
+type tracker struct {
+	mu    sync.Mutex
+	rep   *Report
+	start time.Time
+	opts  Options
+	done  []bool
+	left  int
+}
+
+func newTracker(rep *Report, start time.Time, n int, opts Options) *tracker {
+	return &tracker{rep: rep, start: start, opts: opts, done: make([]bool, n), left: n}
+}
+
+// complete records the first successful completion of item. It reports
+// whether this call was the winner (false when another replica already
+// completed the item).
+func (t *tracker) complete(item Item, pathName string, bytes int64) bool {
+	t.mu.Lock()
+	t.addBytesLocked(pathName, bytes)
+	if t.done[item.ID] {
+		t.mu.Unlock()
+		return false
+	}
+	t.done[item.ID] = true
+	t.left--
+	elapsed := time.Since(t.start)
+	t.rep.ItemDone[item.ID] = elapsed
+	st := t.rep.PerPath[pathName]
+	st.Items++
+	t.rep.PerPath[pathName] = st
+	cb := t.opts.OnItemDone
+	t.mu.Unlock()
+	if cb != nil {
+		cb(item, elapsed)
+	}
+	return true
+}
+
+// addBytes accounts bytes moved on a path without completing anything
+// (aborted replicas, failed attempts).
+func (t *tracker) addBytes(pathName string, bytes int64) {
+	t.mu.Lock()
+	t.addBytesLocked(pathName, bytes)
+	t.mu.Unlock()
+}
+
+func (t *tracker) addBytesLocked(pathName string, bytes int64) {
+	st := t.rep.PerPath[pathName]
+	st.Bytes += bytes
+	t.rep.PerPath[pathName] = st
+}
+
+func (t *tracker) isDone(id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done[id]
+}
+
+// remaining reports how many items have not yet completed.
+func (t *tracker) remaining() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.left
+}
+
+func (t *tracker) addWaste(bytes int64) {
+	t.mu.Lock()
+	t.rep.WastedBytes += bytes
+	t.mu.Unlock()
+}
+
+// ----- Round robin -----
+
+func runRoundRobin(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, start time.Time) error {
+	trk := newTracker(rep, start, len(items), opts)
+	queues := make([][]Item, len(paths))
+	for i, it := range items {
+		q := i % len(paths)
+		queues[q] = append(queues[q], it)
+	}
+	return drainQueues(ctx, queues, paths, opts, trk)
+}
+
+// drainQueues runs one worker per path over fixed queues with per-item
+// retry on the same path (no stealing) — shared by RR and MIN.
+func drainQueues(ctx context.Context, queues [][]Item, paths []Path, opts Options, trk *tracker) error {
+	g := newErrGroup(ctx)
+	for i, p := range paths {
+		q := queues[i]
+		p := p
+		g.go_(func(ctx context.Context) error {
+			for _, it := range q {
+				if err := transferWithRetry(ctx, p, it, opts.maxRetries(), trk, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return g.wait()
+}
+
+// transferWithRetry attempts item on path up to maxRetries times; each
+// successful completion is recorded in trk. onSample, when non-nil,
+// receives (bytes, seconds) of the successful attempt for bandwidth
+// estimation.
+func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk *tracker, onSample func(bytes int64, seconds float64)) error {
+	var lastErr error
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		n, err := p.Transfer(ctx, it)
+		if err == nil {
+			trk.complete(it, p.Name(), n)
+			if onSample != nil {
+				if secs := time.Since(t0).Seconds(); secs > 0 {
+					onSample(n, secs)
+				}
+			}
+			return nil
+		}
+		trk.addBytes(p.Name(), n)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("scheduler: item %d (%s) failed on path %s after %d attempts: %w",
+		it.ID, it.Name, p.Name(), maxRetries, lastErr)
+}
+
+// ----- MIN (estimated minimum completion time) -----
+
+func runMinTime(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, start time.Time) error {
+	trk := newTracker(rep, start, len(items), opts)
+	n := len(paths)
+
+	type pathState struct {
+		est     float64 // bits/s estimate
+		sampled bool    // has at least one measured transfer
+		backlog int64   // bytes assigned but not completed
+		queue   chan Item
+	}
+	states := make([]*pathState, n)
+	for i, p := range paths {
+		est := 1e6 // default 1 Mbps
+		if opts.InitialBandwidth != nil {
+			if v, ok := opts.InitialBandwidth[p.Name()]; ok && v > 0 {
+				est = v
+			}
+		}
+		states[i] = &pathState{est: est, queue: make(chan Item, len(items))}
+	}
+
+	var mu sync.Mutex // guards states and the assignment cursor
+	next := 0
+	bulkDone := false
+	alpha := opts.minAlpha()
+
+	assignTo := func(st *pathState, it Item) {
+		st.backlog += it.Size
+		st.queue <- it
+	}
+
+	// minEstPath returns the path with the smallest estimated completion
+	// time for an item of the given size. Caller holds mu.
+	minEstPath := func(size int64) *pathState {
+		var best *pathState
+		bestT := 0.0
+		for _, st := range states {
+			estT := float64(st.backlog+size) * 8 / st.est
+			if best == nil || estT < bestT {
+				best, bestT = st, estT
+			}
+		}
+		return best
+	}
+
+	// maybeBulkAssign performs the paper's one-shot assignment: once every
+	// path has produced a bandwidth sample (the round-robin initialisation
+	// is over), all remaining items are placed onto the paths minimising
+	// their estimated completion time — and never rebalanced. Deep queues
+	// built from noisy early samples are exactly why MIN underperforms
+	// under wireless variability. Caller holds mu.
+	maybeBulkAssign := func() {
+		if bulkDone {
+			return
+		}
+		for _, st := range states {
+			if !st.sampled {
+				return
+			}
+		}
+		bulkDone = true
+		for ; next < len(items); next++ {
+			it := items[next]
+			assignTo(minEstPath(it.Size), it)
+		}
+	}
+
+	// Seed: first N items round-robin (initialisation per the paper).
+	mu.Lock()
+	for i := 0; i < n && next < len(items); i++ {
+		assignTo(states[i], items[next])
+		next++
+	}
+	mu.Unlock()
+
+	// allDone releases workers whose queues will never be fed again.
+	allDone := make(chan struct{})
+	var doneOnce sync.Once
+
+	g := newErrGroup(ctx)
+	for i, p := range paths {
+		st := states[i]
+		p := p
+		g.go_(func(ctx context.Context) error {
+			for {
+				var it Item
+				select {
+				case it = <-st.queue:
+				default:
+					// Queue momentarily empty: wait for new work, global
+					// completion, or cancellation. MIN never steals.
+					select {
+					case it = <-st.queue:
+					case <-allDone:
+						return nil
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				}
+				err := transferWithRetry(ctx, p, it, opts.maxRetries(), trk, func(bytes int64, secs float64) {
+					mu.Lock()
+					sample := float64(bytes) * 8 / secs
+					st.est = alpha*sample + (1-alpha)*st.est
+					st.sampled = true
+					st.backlog -= it.Size
+					if !bulkDone && next < len(items) {
+						// Still initialising: keep this path busy with the
+						// next item in order, and bulk-assign the moment
+						// every path has a sample.
+						maybeBulkAssign()
+						if !bulkDone {
+							assignTo(st, items[next])
+							next++
+							maybeBulkAssign()
+						}
+					}
+					mu.Unlock()
+				})
+				if err != nil {
+					return err
+				}
+				if trk.remaining() == 0 {
+					doneOnce.Do(func() { close(allDone) })
+					return nil
+				}
+			}
+		})
+	}
+	return g.wait()
+}
+
+// ----- Greedy with endgame duplication -----
+
+type flight struct {
+	item     Item
+	seq      int // assignment order (for "oldest" selection)
+	replicas map[string]context.CancelFunc
+}
+
+func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts Options, rep *Report, start time.Time) error {
+	trk := newTracker(rep, start, len(items), opts)
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		pending  = append([]Item(nil), items...)
+		inflight = make(map[int]*flight)
+		seq      int
+		failed   error
+		// fails[itemID][pathName] counts genuine transfer failures; an
+		// item only fails the transaction once every path has exhausted
+		// its per-path retry budget for it.
+		fails = make(map[int]map[string]int)
+	)
+	pathFails := func(id int, path string) int {
+		return fails[id][path]
+	}
+	recordFail := func(id int, path string) {
+		m := fails[id]
+		if m == nil {
+			m = make(map[string]int)
+			fails[id] = m
+		}
+		m[path]++
+	}
+	exhaustedEverywhere := func(id int) bool {
+		for _, p := range paths {
+			if pathFails(id, p.Name()) < opts.maxRetries() {
+				return false
+			}
+		}
+		return true
+	}
+	g := newErrGroup(ctx)
+	// Wake all cond waiters when the group context dies (parent cancel or
+	// a worker error) so they can exit.
+	stopWake := context.AfterFunc(g.ctx, func() {
+		mu.Lock()
+		if failed == nil {
+			failed = g.ctx.Err()
+		}
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	defer stopWake()
+
+	// pickDuplicate selects the oldest in-flight item this path is not
+	// already carrying (and has retry budget left for), preferring items
+	// with the fewest replicas.
+	pickDuplicate := func(self string) *flight {
+		var cands []*flight
+		for _, f := range inflight {
+			if _, carrying := f.replicas[self]; carrying {
+				continue
+			}
+			if len(f.replicas) >= len(paths) {
+				continue
+			}
+			if pathFails(f.item.ID, self) >= opts.maxRetries() {
+				continue
+			}
+			cands = append(cands, f)
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if algo == Playout {
+				// Head-of-line first: the lowest-ID incomplete item is
+				// what gates in-order playout.
+				return cands[i].item.ID < cands[j].item.ID
+			}
+			if len(cands[i].replicas) != len(cands[j].replicas) {
+				return len(cands[i].replicas) < len(cands[j].replicas)
+			}
+			return cands[i].seq < cands[j].seq
+		})
+		return cands[0]
+	}
+
+	// takeable returns the index of the first pending item this path may
+	// still attempt, or −1.
+	takeable := func(self string) int {
+		for i, it := range pending {
+			if pathFails(it.ID, self) < opts.maxRetries() {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for _, p := range paths {
+		p := p
+		g.go_(func(ctx context.Context) error {
+			for {
+				mu.Lock()
+				var takeIdx int
+				for {
+					if failed != nil {
+						mu.Unlock()
+						return failed
+					}
+					if trk.remaining() == 0 {
+						mu.Unlock()
+						return nil
+					}
+					takeIdx = takeable(p.Name())
+					if takeIdx >= 0 {
+						break
+					}
+					if !opts.DisableDuplication && pickDuplicate(p.Name()) != nil {
+						break
+					}
+					cond.Wait()
+				}
+
+				var f *flight
+				if takeIdx >= 0 {
+					it := pending[takeIdx]
+					pending = append(pending[:takeIdx], pending[takeIdx+1:]...)
+					f = &flight{item: it, seq: seq, replicas: map[string]context.CancelFunc{}}
+					seq++
+					inflight[it.ID] = f
+				} else {
+					f = pickDuplicate(p.Name())
+					trk.mu.Lock()
+					trk.rep.Duplicates++
+					trk.mu.Unlock()
+				}
+				tctx, cancel := context.WithCancel(ctx)
+				f.replicas[p.Name()] = cancel
+				item := f.item
+				mu.Unlock()
+
+				n, err := p.Transfer(tctx, item)
+				// Record whether *our replica* was cancelled before we
+				// release the context (cancel() would make tctx.Err()
+				// non-nil unconditionally).
+				replicaCancelled := tctx.Err() != nil
+				cancel()
+
+				mu.Lock()
+				delete(f.replicas, p.Name())
+				switch {
+				case err == nil:
+					won := false
+					if !trk.isDone(item.ID) {
+						won = trk.complete(item, p.Name(), n)
+					} else {
+						trk.addBytes(p.Name(), n)
+						trk.addWaste(n)
+					}
+					if won {
+						// Abort losing replicas; their partial bytes are
+						// accounted when their Transfer returns.
+						for _, c := range f.replicas {
+							c()
+						}
+						delete(inflight, item.ID)
+					}
+					cond.Broadcast()
+				case replicaCancelled && ctx.Err() == nil:
+					// Cancelled because another replica won: waste.
+					trk.addBytes(p.Name(), n)
+					trk.addWaste(n)
+					cond.Broadcast()
+				case ctx.Err() != nil:
+					trk.addBytes(p.Name(), n)
+					mu.Unlock()
+					return ctx.Err()
+				default:
+					// Genuine transfer failure: requeue unless the item
+					// completed elsewhere or every path has exhausted its
+					// retry budget for it.
+					trk.addBytes(p.Name(), n)
+					if !trk.isDone(item.ID) {
+						recordFail(item.ID, p.Name())
+						switch {
+						case exhaustedEverywhere(item.ID):
+							failed = fmt.Errorf("scheduler: item %d (%s) failed on every path: %w",
+								item.ID, item.Name, err)
+						case len(f.replicas) == 0:
+							// No other replica carries it: requeue so a
+							// path with remaining budget can take it.
+							delete(inflight, item.ID)
+							pending = append(pending, item)
+						}
+					}
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+		})
+	}
+	return g.wait()
+}
+
+// errGroup is a minimal errgroup built on the stdlib (module is
+// dependency-free): first error wins, wait returns it.
+type errGroup struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+	err    error
+}
+
+func newErrGroup(parent context.Context) *errGroup {
+	ctx, cancel := context.WithCancel(parent)
+	return &errGroup{ctx: ctx, cancel: cancel}
+}
+
+func (g *errGroup) go_(fn func(context.Context) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(g.ctx); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+func (g *errGroup) wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}

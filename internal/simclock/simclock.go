@@ -1,0 +1,164 @@
+// Package simclock implements the discrete-event virtual clock that drives
+// every fluid simulation in the repository (cellular channel model, DSLAM
+// trace replay, scheduler analyses). Virtual time is a float64 number of
+// seconds; nothing ever sleeps, so simulated days run in milliseconds of
+// wall time.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Clock is a virtual-time event scheduler. The zero value is not usable;
+// construct with New. Clock is not safe for concurrent use: simulations
+// are single-goroutine by design (determinism is a project requirement).
+type Clock struct {
+	now   float64
+	queue eventQueue
+	seq   int64 // tie-break so same-time events run in schedule order
+}
+
+// New returns a Clock positioned at time 0.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Timer is a handle to a scheduled event; it allows cancellation.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had still been
+// pending (false means it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Schedule registers fn to run at the absolute virtual time at. Scheduling
+// in the past panics: a fluid simulation that produces such an event has a
+// logic error that silently reordering would hide.
+func (c *Clock) Schedule(at float64, fn func()) *Timer {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
+	}
+	ev := &event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (c *Clock) After(d float64, fn func()) *Timer {
+	return c.Schedule(c.now+d, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event ran (false means the queue was empty).
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		ev := heap.Pop(&c.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		c.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to
+// exactly t (even if no event lands there).
+func (c *Clock) RunUntil(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: RunUntil(%v) before now %v", t, c.now))
+	}
+	for {
+		ev := c.queue.peekPending()
+		if ev == nil || ev.at > t {
+			break
+		}
+		c.Step()
+	}
+	c.now = t
+}
+
+// Pending reports the number of not-yet-cancelled events in the queue.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+type event struct {
+	at        float64
+	seq       int64
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// peekPending returns the earliest non-cancelled event without removing
+// it, lazily discarding cancelled heap tops.
+func (q *eventQueue) peekPending() *event {
+	for q.Len() > 0 {
+		if (*q)[0].cancelled {
+			heap.Pop(q)
+			continue
+		}
+		return (*q)[0]
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(3, func() { got = append(got, 3) })
+	c.Schedule(1, func() { got = append(got, 1) })
+	c.Schedule(2, func() { got = append(got, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 3 {
+		t.Errorf("Now = %v, want 3", c.Now())
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(5, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	c := New()
+	var at float64 = -1
+	c.Schedule(2, func() {
+		c.After(3, func() { at = c.Now() })
+	})
+	c.Run()
+	if at != 5 {
+		t.Errorf("After fired at %v, want 5", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.Schedule(1, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	c.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if c.Now() != 0 {
+		t.Errorf("clock advanced to %v after all-cancelled queue", c.Now())
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	c := New()
+	tm := c.Schedule(1, func() {})
+	c.Run()
+	if tm.Stop() {
+		t.Error("Stop after fire should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		c.Schedule(at, func() { fired = append(fired, at) })
+	}
+	c.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2 only", fired)
+	}
+	if c.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5", c.Now())
+	}
+	c.RunUntil(10)
+	if len(fired) != 4 {
+		t.Errorf("fired %v, want all four", fired)
+	}
+	if c.Now() != 10 {
+		t.Errorf("Now = %v, want 10", c.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.Schedule(5, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	c.Schedule(1, func() {})
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	c := New()
+	c.Schedule(5, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil in the past did not panic")
+		}
+	}()
+	c.RunUntil(1)
+}
+
+func TestPending(t *testing.T) {
+	c := New()
+	t1 := c.Schedule(1, func() {})
+	c.Schedule(2, func() {})
+	if c.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", c.Pending())
+	}
+	t1.Stop()
+	if c.Pending() != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", c.Pending())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	c := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			c.After(1, chain)
+		}
+	}
+	c.Schedule(0, chain)
+	c.Run()
+	if count != 5 {
+		t.Errorf("chain ran %d times, want 5", count)
+	}
+	if c.Now() != 4 {
+		t.Errorf("Now = %v, want 4", c.Now())
+	}
+}
+
+// Property: with random schedule times, events always fire in
+// non-decreasing time order and the clock ends at the max time.
+func TestRandomScheduleOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New()
+		var times []float64
+		var fired []float64
+		for i := 0; i < int(n%50)+1; i++ {
+			at := rng.Float64() * 100
+			times = append(times, at)
+			at2 := at
+			c.Schedule(at2, func() { fired = append(fired, at2) })
+		}
+		c.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		sort.Float64s(times)
+		return c.Now() == times[len(times)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	xs := benchSample(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Quantile(xs, 0.95)
+	}
+}
+
+func BenchmarkECDFAt(b *testing.B) {
+	e := NewECDF(benchSample(10000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At(0.5)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchSample(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}

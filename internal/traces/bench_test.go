@@ -1,0 +1,17 @@
+package traces
+
+import "testing"
+
+func BenchmarkGenerateDSLAM(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateDSLAM(DSLAMConfig{Users: 18000}, int64(i))
+	}
+}
+
+func BenchmarkGenerateMNO(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateMNO(MNOConfig{Users: 20000}, int64(i))
+	}
+}

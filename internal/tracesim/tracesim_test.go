@@ -1,0 +1,224 @@
+package tracesim
+
+import (
+	"math"
+	"testing"
+
+	"threegol/internal/dsl"
+	"threegol/internal/traces"
+)
+
+func smallTrace(t *testing.T) *traces.DSLAMTrace {
+	t.Helper()
+	return traces.GenerateDSLAM(traces.DSLAMConfig{Users: 3000}, 42)
+}
+
+func TestFig11aSpeedupShape(t *testing.T) {
+	outcomes := Fig11a(smallTrace(t), Config{})
+	if len(outcomes) == 0 {
+		t.Fatal("no outcomes")
+	}
+	cdf := SpeedupCDF(outcomes)
+	// Paper: ≥20% speedup for 50% of users, ≈2× for the top 5%.
+	median := cdf.Quantile(0.5)
+	if median < 1.15 {
+		t.Errorf("median speedup = %.3f, want ≥1.15 (paper: ≥1.2 for 50%%)", median)
+	}
+	p95 := cdf.Quantile(0.95)
+	if p95 < 1.6 {
+		t.Errorf("95th percentile speedup = %.3f, want ≈2", p95)
+	}
+	// Speedups bounded by the no-budget parallel ceiling.
+	cfg := Config{}.withDefaults()
+	ceiling := (cfg.DSLBits + cfg.threeGBits()) / cfg.DSLBits
+	for _, o := range outcomes {
+		if o.Speedup < 1-1e-9 || o.Speedup > ceiling+1e-9 {
+			t.Fatalf("speedup %.3f outside [1, %.3f]", o.Speedup, ceiling)
+		}
+	}
+}
+
+func TestFig11aBudgetCapsOnloading(t *testing.T) {
+	tr := smallTrace(t)
+	outcomes := Fig11a(tr, Config{})
+	cfg := Config{}.withDefaults()
+	for _, o := range outcomes {
+		if o.OnloadedBytes > cfg.budget()+1 {
+			t.Fatalf("user %d onloaded %.0f bytes, budget %.0f", o.UserID, o.OnloadedBytes, cfg.budget())
+		}
+	}
+	// Under the boost-everything-within-budget rule most users exhaust
+	// the 40 MB budget.
+	mean := MeanOnloadedBytesPerUser(outcomes) / traces.MB
+	if mean < 15 || mean > 41 {
+		t.Errorf("mean onloaded = %.1f MB/user/day, want near the 40 MB budget", mean)
+	}
+}
+
+func TestFig11aUnboostableVideosUntouched(t *testing.T) {
+	tr := &traces.DSLAMTrace{NumUsers: 1, ADSLBits: 3e6, Sessions: []traces.VideoSession{
+		{UserID: 0, Time: 100, SizeBytes: 100 * 1024}, // below 750 KB
+	}}
+	outcomes := Fig11a(tr, Config{})
+	if len(outcomes) != 1 {
+		t.Fatal("missing outcome")
+	}
+	if outcomes[0].Speedup != 1 || outcomes[0].OnloadedBytes != 0 {
+		t.Errorf("small video boosted: %+v", outcomes[0])
+	}
+}
+
+func TestFig11bBudgetedStaysUnderBackhaulUnlimitedCrosses(t *testing.T) {
+	// The paper's Fig 11(b): without caps the onloaded load is guaranteed
+	// to overload the cellular network; with caps it stays reasonable.
+	tr := traces.GenerateDSLAM(traces.DSLAMConfig{Users: 18000}, 7)
+	ls := Fig11b(tr, Config{}, 300)
+	if len(ls.BudgetedMbps) != 288 {
+		t.Fatalf("bins = %d, want 288 (5-min)", len(ls.BudgetedMbps))
+	}
+	unlimPeak := PeakMbps(ls.UnlimitedMbps)
+	budgPeak := PeakMbps(ls.BudgetedMbps)
+	if unlimPeak <= ls.BackhaulMbps {
+		t.Errorf("unlimited peak %.1f Mbps should exceed backhaul %.1f", unlimPeak, ls.BackhaulMbps)
+	}
+	if budgPeak >= unlimPeak {
+		t.Errorf("budgeted peak %.1f not below unlimited %.1f", budgPeak, unlimPeak)
+	}
+	// The paper's conclusion: with caps, "the additional load introduced
+	// on the 3G network could be reasonable" — the budgeted curve stays
+	// in the neighbourhood of the backhaul line (a small multiple at the
+	// day-start bump where every user's first video lands) rather than
+	// the order of magnitude the unlimited case reaches.
+	if budgPeak > 5*ls.BackhaulMbps {
+		t.Errorf("budgeted peak %.1f Mbps ≫ backhaul %.1f; caps not effective", budgPeak, ls.BackhaulMbps)
+	}
+	if unlimPeak < 3*budgPeak {
+		t.Errorf("unlimited peak %.1f should dwarf budgeted %.1f", unlimPeak, budgPeak)
+	}
+	// Mean onloaded volume under the first-video rule ≈ paper's 29.78 MB.
+	mean := MeanOnloadedFirstVideoBytes(tr, Config{}) / traces.MB
+	if mean < 20 || mean > 40 {
+		t.Errorf("first-video onload mean = %.1f MB/user/day, want ≈30", mean)
+	}
+	// Budgeted load is dramatically smaller in aggregate.
+	var bSum, uSum float64
+	for i := range ls.BudgetedMbps {
+		bSum += ls.BudgetedMbps[i]
+		uSum += ls.UnlimitedMbps[i]
+	}
+	if bSum >= uSum/2 {
+		t.Errorf("budgeted volume %.1f not ≪ unlimited %.1f", bSum, uSum)
+	}
+}
+
+func TestFig11cAdoptionCurve(t *testing.T) {
+	users := traces.GenerateMNO(traces.MNOConfig{Users: 20000}, 3)
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	pts := Fig11c(users, fracs, 20*traces.MB)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].TotalIncrease != 0 {
+		t.Errorf("zero adoption increase = %v", pts[0].TotalIncrease)
+	}
+	// Monotone growth.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TotalIncrease <= pts[i-1].TotalIncrease {
+			t.Errorf("total increase not monotone at %v", pts[i].Fraction)
+		}
+	}
+	// Paper: ≈100% increase at full adoption (20 MB/day ≈ mean usage).
+	full := pts[4].TotalIncrease
+	if full < 0.5 || full > 2.5 {
+		t.Errorf("full-adoption increase = %.2f, want ≈1", full)
+	}
+	// Peak increase below total increase (Fig 1 misalignment).
+	for _, p := range pts[1:] {
+		if p.PeakIncrease >= p.TotalIncrease {
+			t.Errorf("peak increase %.3f not below total %.3f at adoption %.2f",
+				p.PeakIncrease, p.TotalIncrease, p.Fraction)
+		}
+	}
+}
+
+func TestFig10AnchorsSurviveWrapper(t *testing.T) {
+	users := traces.GenerateMNO(traces.MNOConfig{Users: 10000}, 5)
+	cdf := Fig10(users)
+	if got := cdf.At(0.1); math.Abs(got-0.40) > 0.03 {
+		t.Errorf("P(≤0.1) = %.3f, want ≈0.40", got)
+	}
+	if got := cdf.At(0.5); math.Abs(got-0.75) > 0.03 {
+		t.Errorf("P(≤0.5) = %.3f, want ≈0.75", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.DSLBits != 3e6 || c.Devices != 2 || c.DailyBudgetBytes != 20*traces.MB {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.budget() != 40*traces.MB {
+		t.Errorf("budget = %v, want 40 MB", c.budget())
+	}
+}
+
+func TestFig11aMoreBudgetNeverSlower(t *testing.T) {
+	tr := smallTrace(t)
+	small := Fig11a(tr, Config{DailyBudgetBytes: 5 * traces.MB})
+	big := Fig11a(tr, Config{DailyBudgetBytes: 100 * traces.MB})
+	sMed := SpeedupCDF(small).Quantile(0.5)
+	bMed := SpeedupCDF(big).Quantile(0.5)
+	if bMed < sMed {
+		t.Errorf("bigger budget median %.3f below smaller budget %.3f", bMed, sMed)
+	}
+}
+
+func TestFig11aHeterogeneousRuralGainsMore(t *testing.T) {
+	tr := smallTrace(t)
+	urban := AssignLineRates(tr, dsl.Population{Technology: dsl.ADSL2Plus, MeanLoopMetres: 600}, 1)
+	rural := AssignLineRates(tr, dsl.Population{Technology: dsl.ADSL1, MeanLoopMetres: 3000}, 1)
+
+	// When the budget binds, speedup is rate-invariant (both baseline
+	// and savings scale with 1/rate); the rural advantage shows in the
+	// share-bound upper tail, where slow lines push the parallel ceiling
+	// (dsl+3G)/dsl far higher.
+	urbanP90 := SpeedupCDF(Fig11aHeterogeneous(tr, urban, Config{})).Quantile(0.9)
+	ruralP90 := SpeedupCDF(Fig11aHeterogeneous(tr, rural, Config{})).Quantile(0.9)
+	if ruralP90 <= urbanP90 {
+		t.Errorf("rural p90 speedup %.3f not above urban %.3f (paper: rural gains more)",
+			ruralP90, urbanP90)
+	}
+}
+
+func TestAssignLineRatesDeterministicAndPositive(t *testing.T) {
+	tr := smallTrace(t)
+	pop := dsl.Population{Technology: dsl.ADSL2Plus, MeanLoopMetres: 1200}
+	a := AssignLineRates(tr, pop, 9)
+	b := AssignLineRates(tr, pop, 9)
+	if len(a) != tr.Viewers() {
+		t.Errorf("rates for %d users, want %d viewers", len(a), tr.Viewers())
+	}
+	for id, r := range a {
+		if r < 256e3 {
+			t.Fatalf("user %d rate %.0f below floor", id, r)
+		}
+		if b[id] != r {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestFig11aHeterogeneousFallback(t *testing.T) {
+	tr := &traces.DSLAMTrace{NumUsers: 1, ADSLBits: 3e6, Sessions: []traces.VideoSession{
+		{UserID: 7, Time: 100, SizeBytes: 10 * traces.MB},
+	}}
+	// No rate for user 7: falls back to cfg.DSLBits.
+	with := Fig11aHeterogeneous(tr, nil, Config{})
+	uniform := Fig11a(tr, Config{})
+	if len(with) != 1 || len(uniform) != 1 {
+		t.Fatal("missing outcomes")
+	}
+	if math.Abs(with[0].Speedup-uniform[0].Speedup) > 1e-9 {
+		t.Errorf("fallback speedup %.4f != uniform %.4f", with[0].Speedup, uniform[0].Speedup)
+	}
+}

@@ -1,0 +1,255 @@
+// Package transfer binds the multipath scheduler to HTTP: download paths
+// issue GET requests (directly over the ADSL route or through a 3G
+// device's proxy), upload paths stream multipart/form-data POSTs — the
+// two transports the paper's client component uses for video-on-demand
+// prefetching and photo upload.
+package transfer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"sync"
+
+	"threegol/internal/scheduler"
+)
+
+// DownloadPath fetches items by URL over one HTTP route. It implements
+// scheduler.Path: each item's Name must be an absolute URL.
+type DownloadPath struct {
+	// PathName labels the route in reports ("adsl", "phone1", ...).
+	PathName string
+	// Client issues the GETs. Route identity lives in the client's
+	// transport: the ADSL path uses a dialer shaped to the DSL line; a
+	// phone path uses a transport whose Proxy points at the device.
+	Client *http.Client
+	// Sink consumes each item's body; nil discards it. The HLS client
+	// proxy installs a caching sink here. Sink must be safe for
+	// concurrent calls with distinct items.
+	Sink func(item scheduler.Item, body io.Reader) (int64, error)
+}
+
+// Name implements scheduler.Path.
+func (p *DownloadPath) Name() string { return p.PathName }
+
+// Transfer implements scheduler.Path: GET the item and feed it to the
+// sink, returning bytes moved (partial on cancellation).
+func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, item.Name, nil)
+	if err != nil {
+		return 0, fmt.Errorf("transfer: building request for %s: %w", item.Name, err)
+	}
+	resp, err := p.Client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("transfer: GET %s via %s: %w", item.Name, p.PathName, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("transfer: GET %s via %s: status %s", item.Name, p.PathName, resp.Status)
+	}
+	sink := p.Sink
+	if sink == nil {
+		sink = func(_ scheduler.Item, body io.Reader) (int64, error) {
+			return io.Copy(io.Discard, body)
+		}
+	}
+	n, err := sink(item, resp.Body)
+	if err != nil {
+		// Prefer reporting cancellation over the wrapped copy error so
+		// the scheduler classifies aborted replicas correctly.
+		if ctx.Err() != nil {
+			return n, ctx.Err()
+		}
+		return n, fmt.Errorf("transfer: reading %s via %s: %w", item.Name, p.PathName, err)
+	}
+	return n, nil
+}
+
+// ItemSource supplies an item's content for upload. Implementations must
+// be safe for concurrent calls (the greedy endgame may read the same item
+// on two paths at once, so each call must return an independent reader).
+type ItemSource func(item scheduler.Item) (io.ReadCloser, error)
+
+// UploadPath uploads items to TargetURL as multipart/form-data POSTs —
+// the request shape of Facebook/Flickr/Picasa native clients the paper
+// emulates.
+type UploadPath struct {
+	PathName string
+	Client   *http.Client
+	// TargetURL receives the POSTs.
+	TargetURL string
+	// Field is the form field name; empty selects "file".
+	Field string
+	// Source opens each item's content.
+	Source ItemSource
+}
+
+// Name implements scheduler.Path.
+func (p *UploadPath) Name() string { return p.PathName }
+
+// Transfer implements scheduler.Path: stream one multipart POST. The
+// returned byte count covers the item content (not multipart framing).
+func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+	if p.Source == nil {
+		return 0, fmt.Errorf("transfer: UploadPath %s has no Source", p.PathName)
+	}
+	content, err := p.Source(item)
+	if err != nil {
+		return 0, fmt.Errorf("transfer: opening %s: %w", item.Name, err)
+	}
+
+	pr, pw := io.Pipe()
+	mw := multipart.NewWriter(pw)
+	counter := &countingReader{r: content}
+
+	go func() {
+		defer content.Close()
+		field := p.Field
+		if field == "" {
+			field = "file"
+		}
+		part, err := mw.CreateFormFile(field, item.Name)
+		if err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		if _, err := io.Copy(part, counter); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		pw.CloseWithError(mw.Close())
+	}()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.TargetURL, pr)
+	if err != nil {
+		pr.Close()
+		return 0, fmt.Errorf("transfer: building POST for %s: %w", item.Name, err)
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := p.Client.Do(req)
+	if err != nil {
+		pr.Close()
+		n := counter.count()
+		if ctx.Err() != nil {
+			return n, ctx.Err()
+		}
+		return n, fmt.Errorf("transfer: POST %s via %s: %w", item.Name, p.PathName, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated &&
+		resp.StatusCode != http.StatusNoContent {
+		return counter.count(), fmt.Errorf("transfer: POST %s via %s: status %s",
+			item.Name, p.PathName, resp.Status)
+	}
+	return counter.count(), nil
+}
+
+type countingReader struct {
+	r  io.Reader
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.mu.Lock()
+	c.n += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *countingReader) count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Cache is a concurrency-safe in-memory store of completed item bodies,
+// keyed by item name. The HLS client proxy prefetches segments into a
+// Cache through the scheduler and serves the player's sequential GETs
+// from it, waiting when the player outruns the prefetcher.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	waiters map[string][]chan []byte
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[string][]byte),
+		waiters: make(map[string][]chan []byte),
+	}
+}
+
+// Put stores a completed item and releases any waiters.
+func (c *Cache) Put(name string, body []byte) {
+	c.mu.Lock()
+	c.entries[name] = body
+	ws := c.waiters[name]
+	delete(c.waiters, name)
+	c.mu.Unlock()
+	for _, w := range ws {
+		w <- body
+	}
+}
+
+// Get returns the cached body, if present.
+func (c *Cache) Get(name string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.entries[name]
+	return b, ok
+}
+
+// Wait blocks until the item is cached or the context is cancelled.
+func (c *Cache) Wait(ctx context.Context, name string) ([]byte, error) {
+	c.mu.Lock()
+	if b, ok := c.entries[name]; ok {
+		c.mu.Unlock()
+		return b, nil
+	}
+	ch := make(chan []byte, 1)
+	c.waiters[name] = append(c.waiters[name], ch)
+	c.mu.Unlock()
+	select {
+	case b := <-ch:
+		return b, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes reports the total cached payload size.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, b := range c.entries {
+		t += int64(len(b))
+	}
+	return t
+}
+
+// CachingSink returns a DownloadPath sink that stores bodies into cache
+// under the item's name.
+func CachingSink(cache *Cache) func(scheduler.Item, io.Reader) (int64, error) {
+	return func(item scheduler.Item, body io.Reader) (int64, error) {
+		buf, err := io.ReadAll(body)
+		if err != nil {
+			return int64(len(buf)), err
+		}
+		cache.Put(item.Name, buf)
+		return int64(len(buf)), nil
+	}
+}

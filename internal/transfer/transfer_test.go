@@ -1,0 +1,328 @@
+package transfer
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"threegol/internal/scheduler"
+)
+
+func originServer(t *testing.T, size int) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/missing") {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(bytes.Repeat([]byte(r.URL.Path[1:2]), size))
+	}))
+}
+
+func TestDownloadPathTransfers(t *testing.T) {
+	srv := originServer(t, 1000)
+	defer srv.Close()
+	p := &DownloadPath{PathName: "adsl", Client: srv.Client()}
+	n, err := p.Transfer(context.Background(), scheduler.Item{ID: 0, Name: srv.URL + "/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Errorf("bytes = %d, want 1000", n)
+	}
+	if p.Name() != "adsl" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestDownloadPathStatusError(t *testing.T) {
+	srv := originServer(t, 10)
+	defer srv.Close()
+	p := &DownloadPath{PathName: "adsl", Client: srv.Client()}
+	if _, err := p.Transfer(context.Background(), scheduler.Item{Name: srv.URL + "/missing"}); err == nil {
+		t.Error("404 did not error")
+	}
+	if _, err := p.Transfer(context.Background(), scheduler.Item{Name: "http://127.0.0.1:1/x"}); err == nil {
+		t.Error("refused connection did not error")
+	}
+	if _, err := p.Transfer(context.Background(), scheduler.Item{Name: "::bad::"}); err == nil {
+		t.Error("bad URL did not error")
+	}
+}
+
+func TestDownloadPathCancellation(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.(http.Flusher).Flush()
+		for i := 0; i < 100; i++ {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+				w.Write(bytes.Repeat([]byte("x"), 100))
+				w.(http.Flusher).Flush()
+			}
+		}
+	}))
+	defer slow.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		cancel()
+	}()
+	p := &DownloadPath{PathName: "adsl", Client: slow.Client()}
+	_, err := p.Transfer(ctx, scheduler.Item{Name: slow.URL + "/x"})
+	if err == nil {
+		t.Fatal("cancelled transfer reported success")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("test bug: context not cancelled")
+	}
+}
+
+func TestDownloadPathCachingSink(t *testing.T) {
+	srv := originServer(t, 64)
+	defer srv.Close()
+	cache := NewCache()
+	p := &DownloadPath{PathName: "adsl", Client: srv.Client(), Sink: CachingSink(cache)}
+	url := srv.URL + "/z"
+	if _, err := p.Transfer(context.Background(), scheduler.Item{Name: url}); err != nil {
+		t.Fatal(err)
+	}
+	body, ok := cache.Get(url)
+	if !ok || len(body) != 64 {
+		t.Fatalf("cache miss after transfer: ok=%v len=%d", ok, len(body))
+	}
+	if cache.Len() != 1 || cache.Bytes() != 64 {
+		t.Errorf("Len=%d Bytes=%d, want 1/64", cache.Len(), cache.Bytes())
+	}
+}
+
+func TestCacheWaitBlocksUntilPut(t *testing.T) {
+	cache := NewCache()
+	got := make(chan []byte, 1)
+	go func() {
+		b, err := cache.Wait(context.Background(), "k")
+		if err != nil {
+			t.Error(err)
+		}
+		got <- b
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cache.Put("k", []byte("hello"))
+	select {
+	case b := <-got:
+		if string(b) != "hello" {
+			t.Errorf("Wait returned %q", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never returned")
+	}
+}
+
+func TestCacheWaitImmediateWhenPresent(t *testing.T) {
+	cache := NewCache()
+	cache.Put("k", []byte("v"))
+	b, err := cache.Wait(context.Background(), "k")
+	if err != nil || string(b) != "v" {
+		t.Errorf("Wait = %q, %v", b, err)
+	}
+}
+
+func TestCacheWaitHonoursCancellation(t *testing.T) {
+	cache := NewCache()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := cache.Wait(ctx, "never"); err == nil {
+		t.Error("Wait returned without Put or cancellation")
+	}
+}
+
+func TestCacheConcurrentWaiters(t *testing.T) {
+	cache := NewCache()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := cache.Wait(context.Background(), "k")
+			if err != nil || string(b) != "x" {
+				errs <- fmt.Errorf("got %q, %v", b, err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	cache.Put("k", []byte("x"))
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// uploadServer records multipart uploads.
+type uploadServer struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+func newUploadServer(t *testing.T) (*uploadServer, *httptest.Server) {
+	t.Helper()
+	us := &uploadServer{files: map[string][]byte{}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		mr, err := r.MultipartReader()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			body, err := io.ReadAll(part)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			us.mu.Lock()
+			us.files[part.FileName()] = body
+			us.mu.Unlock()
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+	return us, srv
+}
+
+func bytesSource(content map[string][]byte) ItemSource {
+	return func(item scheduler.Item) (io.ReadCloser, error) {
+		b, ok := content[item.Name]
+		if !ok {
+			return nil, fmt.Errorf("no content for %s", item.Name)
+		}
+		return io.NopCloser(bytes.NewReader(b)), nil
+	}
+}
+
+func TestUploadPathTransfers(t *testing.T) {
+	us, srv := newUploadServer(t)
+	defer srv.Close()
+	content := map[string][]byte{"p1.jpg": bytes.Repeat([]byte("j"), 2048)}
+	p := &UploadPath{
+		PathName:  "phone1",
+		Client:    srv.Client(),
+		TargetURL: srv.URL + "/upload",
+		Source:    bytesSource(content),
+	}
+	n, err := p.Transfer(context.Background(), scheduler.Item{ID: 0, Name: "p1.jpg", Size: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2048 {
+		t.Errorf("bytes = %d, want 2048", n)
+	}
+	us.mu.Lock()
+	defer us.mu.Unlock()
+	if got := us.files["p1.jpg"]; !bytes.Equal(got, content["p1.jpg"]) {
+		t.Errorf("uploaded %d bytes, want 2048 intact", len(got))
+	}
+}
+
+func TestUploadPathErrors(t *testing.T) {
+	_, srv := newUploadServer(t)
+	defer srv.Close()
+	noSource := &UploadPath{PathName: "p", Client: srv.Client(), TargetURL: srv.URL}
+	if _, err := noSource.Transfer(context.Background(), scheduler.Item{Name: "x"}); err == nil {
+		t.Error("missing Source did not error")
+	}
+	p := &UploadPath{
+		PathName: "p", Client: srv.Client(), TargetURL: srv.URL,
+		Source: bytesSource(map[string][]byte{}),
+	}
+	if _, err := p.Transfer(context.Background(), scheduler.Item{Name: "nope"}); err == nil {
+		t.Error("missing item content did not error")
+	}
+	bad := &UploadPath{
+		PathName: "p", Client: srv.Client(), TargetURL: "http://127.0.0.1:1/",
+		Source: bytesSource(map[string][]byte{"x": []byte("y")}),
+	}
+	if _, err := bad.Transfer(context.Background(), scheduler.Item{Name: "x"}); err == nil {
+		t.Error("unreachable target did not error")
+	}
+}
+
+func TestUploadThroughSchedulerEndToEnd(t *testing.T) {
+	// A full transaction: 6 photos over 2 upload paths with the greedy
+	// scheduler; every photo must arrive intact exactly once.
+	us, srv := newUploadServer(t)
+	defer srv.Close()
+	content := map[string][]byte{}
+	items := make([]scheduler.Item, 6)
+	for i := range items {
+		name := fmt.Sprintf("photo%d.jpg", i)
+		content[name] = bytes.Repeat([]byte{byte('a' + i)}, 1000+i*100)
+		items[i] = scheduler.Item{ID: i, Name: name, Size: int64(len(content[name]))}
+	}
+	mkPath := func(n string) scheduler.Path {
+		return &UploadPath{
+			PathName: n, Client: srv.Client(), TargetURL: srv.URL, Source: bytesSource(content),
+		}
+	}
+	rep, err := scheduler.Run(context.Background(), scheduler.Greedy, items,
+		[]scheduler.Path{mkPath("adsl"), mkPath("phone1")}, scheduler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us.mu.Lock()
+	defer us.mu.Unlock()
+	for name, want := range content {
+		if got := us.files[name]; !bytes.Equal(got, want) {
+			t.Errorf("%s corrupted or missing (%d bytes, want %d)", name, len(got), len(want))
+		}
+	}
+	var won int
+	for _, st := range rep.PerPath {
+		won += st.Items
+	}
+	if won != 6 {
+		t.Errorf("items won = %d, want 6", won)
+	}
+}
+
+func TestDownloadThroughSchedulerEndToEnd(t *testing.T) {
+	srv := originServer(t, 500)
+	defer srv.Close()
+	cache := NewCache()
+	items := make([]scheduler.Item, 8)
+	for i := range items {
+		items[i] = scheduler.Item{ID: i, Name: fmt.Sprintf("%s/f%d", srv.URL, i), Size: 500}
+	}
+	mk := func(n string) scheduler.Path {
+		return &DownloadPath{PathName: n, Client: srv.Client(), Sink: CachingSink(cache)}
+	}
+	_, err := scheduler.Run(context.Background(), scheduler.MinTime, items,
+		[]scheduler.Path{mk("adsl"), mk("ph1"), mk("ph2")}, scheduler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 8 {
+		t.Errorf("cache has %d entries, want 8", cache.Len())
+	}
+}

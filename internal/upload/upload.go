@@ -1,0 +1,177 @@
+// Package upload implements the photo-sharing service endpoint of the
+// paper's uplink application (§4.1): an HTTP server accepting
+// multipart/form-data POSTs the way Facebook/Flickr/Picasa native
+// clients send them. It stores payloads in memory, deduplicates replays
+// by filename (the greedy scheduler's endgame can deliver an item
+// twice), and exposes counters the experiments assert on.
+package upload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// File is one stored upload.
+type File struct {
+	Name   string
+	Size   int64
+	SHA256 string
+	// Copies counts how many times the file arrived (replay deliveries
+	// from scheduler duplication land here, not as separate files).
+	Copies int
+}
+
+// Server is the upload endpoint. The zero value is ready to use; serve
+// it with net/http. POST / (or any path) with one or more multipart file
+// parts; GET /stats returns a JSON summary.
+type Server struct {
+	// MaxBytes caps a single request body; 0 means 256 MB.
+	MaxBytes int64
+	// KeepPayloads retains file contents for later inspection; when
+	// false (the default) only sizes and digests are kept, so long
+	// experiments don't accumulate memory.
+	KeepPayloads bool
+
+	mu       sync.Mutex
+	files    map[string]*File
+	payloads map[string][]byte
+	requests int
+	bytes    int64
+}
+
+func (s *Server) maxBytes() int64 {
+	if s.MaxBytes > 0 {
+		return s.MaxBytes
+	}
+	return 256 << 20
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/stats":
+		s.serveStats(w)
+	case r.Method == http.MethodPost:
+		s.serveUpload(w, r)
+	default:
+		http.Error(w, "POST multipart uploads here; GET /stats for counters",
+			http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) serveUpload(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes())
+	mr, err := r.MultipartReader()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("expected multipart/form-data: %v", err), http.StatusBadRequest)
+		return
+	}
+	var stored []string
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		name := part.FileName()
+		if name == "" {
+			io.Copy(io.Discard, part) // non-file form field
+			continue
+		}
+		h := sha256.New()
+		var payload []byte
+		var n int64
+		if s.KeepPayloads {
+			payload, err = io.ReadAll(io.TeeReader(part, h))
+			n = int64(len(payload))
+		} else {
+			n, err = io.Copy(h, part)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.record(name, n, hex.EncodeToString(h.Sum(nil)), payload)
+		stored = append(stored, name)
+	}
+	if len(stored) == 0 {
+		http.Error(w, "no file parts in request", http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(map[string]any{"stored": stored})
+}
+
+func (s *Server) record(name string, size int64, digest string, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.files == nil {
+		s.files = make(map[string]*File)
+	}
+	s.requests++
+	s.bytes += size
+	if f, ok := s.files[name]; ok {
+		f.Copies++
+		return
+	}
+	s.files[name] = &File{Name: name, Size: size, SHA256: digest, Copies: 1}
+	if s.KeepPayloads {
+		if s.payloads == nil {
+			s.payloads = make(map[string][]byte)
+		}
+		s.payloads[name] = payload
+	}
+}
+
+// Stats is the JSON shape of GET /stats.
+type Stats struct {
+	Files      int   `json:"files"`
+	Requests   int   `json:"requests"`
+	TotalBytes int64 `json:"total_bytes"`
+	Duplicates int   `json:"duplicates"`
+}
+
+func (s *Server) serveStats(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Files: len(s.files), Requests: s.requests, TotalBytes: s.bytes}
+	for _, f := range s.files {
+		st.Duplicates += f.Copies - 1
+	}
+	return st
+}
+
+// Files returns the stored files sorted by name.
+func (s *Server) Files() []File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]File, 0, len(s.files))
+	for _, f := range s.files {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Payload returns a stored file's bytes (only with KeepPayloads).
+func (s *Server) Payload(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.payloads[name]
+	return b, ok
+}

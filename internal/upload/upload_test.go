@@ -1,0 +1,180 @@
+package upload
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"threegol/internal/scheduler"
+	"threegol/internal/transfer"
+)
+
+func postFile(t *testing.T, url, name string, body []byte) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	part, err := mw.CreateFormFile("file", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part.Write(body)
+	mw.Close()
+	resp, err := http.Post(url, mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestUploadStoresAndDigests(t *testing.T) {
+	s := &Server{KeepPayloads: true}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	content := bytes.Repeat([]byte("img"), 1000)
+	resp := postFile(t, srv.URL, "a.jpg", content)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	files := s.Files()
+	if len(files) != 1 || files[0].Name != "a.jpg" || files[0].Size != 3000 {
+		t.Fatalf("files = %+v", files)
+	}
+	sum := sha256.Sum256(content)
+	if files[0].SHA256 != hex.EncodeToString(sum[:]) {
+		t.Error("digest mismatch")
+	}
+	got, ok := s.Payload("a.jpg")
+	if !ok || !bytes.Equal(got, content) {
+		t.Error("payload not retained intact")
+	}
+}
+
+func TestUploadDeduplicatesReplays(t *testing.T) {
+	s := &Server{}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		postFile(t, srv.URL, "dup.jpg", []byte("x"))
+	}
+	st := s.Stats()
+	if st.Files != 1 || st.Duplicates != 2 || st.Requests != 3 {
+		t.Errorf("stats = %+v, want 1 file, 2 duplicates, 3 requests", st)
+	}
+}
+
+func TestUploadRejectsBadRequests(t *testing.T) {
+	s := &Server{}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("not multipart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-multipart = %s, want 400", resp.Status)
+	}
+
+	// Multipart with no file parts.
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("note", "hello")
+	mw.Close()
+	resp, err = http.Post(srv.URL, mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("no-file multipart = %s, want 400", resp.Status)
+	}
+
+	resp, err = http.Get(srv.URL + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET = %s, want 405", resp.Status)
+	}
+}
+
+func TestUploadMaxBytes(t *testing.T) {
+	s := &Server{MaxBytes: 1024}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp := postFile(t, srv.URL, "big.jpg", bytes.Repeat([]byte("z"), 10_000))
+	if resp.StatusCode == http.StatusCreated {
+		t.Error("oversized upload accepted")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := &Server{}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	postFile(t, srv.URL, "a.jpg", []byte("abc"))
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 1 || st.TotalBytes != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUploadViaSchedulerPaths(t *testing.T) {
+	// The real client pipeline: transfer.UploadPath → multipart POST →
+	// this server, over two paths with the greedy scheduler.
+	s := &Server{KeepPayloads: true}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	content := map[string][]byte{
+		"p0.jpg": bytes.Repeat([]byte("a"), 2000),
+		"p1.jpg": bytes.Repeat([]byte("b"), 3000),
+		"p2.jpg": bytes.Repeat([]byte("c"), 1000),
+	}
+	source := func(item scheduler.Item) (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(content[item.Name])), nil
+	}
+	mk := func(name string) scheduler.Path {
+		return &transfer.UploadPath{
+			PathName: name, Client: srv.Client(), TargetURL: srv.URL, Source: source,
+		}
+	}
+	items := []scheduler.Item{
+		{ID: 0, Name: "p0.jpg", Size: 2000},
+		{ID: 1, Name: "p1.jpg", Size: 3000},
+		{ID: 2, Name: "p2.jpg", Size: 1000},
+	}
+	if _, err := scheduler.Run(context.Background(), scheduler.Greedy, items,
+		[]scheduler.Path{mk("adsl"), mk("ph1")}, scheduler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range content {
+		got, ok := s.Payload(name)
+		if !ok || !bytes.Equal(got, want) {
+			t.Errorf("%s corrupted or missing", name)
+		}
+	}
+	if st := s.Stats(); st.Files != 3 {
+		t.Errorf("files = %d, want 3", st.Files)
+	}
+}
