@@ -1,0 +1,166 @@
+// 3golvet is the repository's static analyzer. It enforces the
+// determinism and concurrency invariants the trace-driven evaluation
+// depends on: no wall-clock reads or global randomness in simulation
+// packages, disciplined mutex usage, and no silently dropped errors.
+//
+// Usage:
+//
+//	go run ./cmd/3golvet ./...          # whole module
+//	go run ./cmd/3golvet ./internal/netem ./internal/core/...
+//
+// A pattern ending in /... is walked recursively (testdata, vendor and
+// hidden directories are skipped). Findings print one per line as
+//
+//	file:line: [analyzer] message
+//
+// and the exit status is 1 when any finding survives suppression via the
+// //3golvet:allow <analyzer> directive; see internal/lint for the
+// analyzer catalogue.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"threegol/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expandPatterns(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
+		os.Exit(2)
+	}
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	prog := lint.NewProgram()
+	for _, dir := range dirs {
+		ip, err := importPath(modRoot, modPath, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
+			os.Exit(2)
+		}
+		if _, err := prog.LoadDir(dir, ip); err != nil {
+			fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	diags := prog.Run(lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "3golvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// expandPatterns turns package patterns into a sorted, deduplicated list
+// of directories containing Go files.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "...":
+			pat = "./..."
+			fallthrough
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Clean(strings.TrimSuffix(pat, "/..."))
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					(strings.HasPrefix(name, ".") && name != ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			info, err := os.Stat(pat)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				return nil, fmt.Errorf("%s is not a directory", pat)
+			}
+			add(pat)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// findModule locates the enclosing go.mod and returns its directory and
+// module path.
+func findModule(start string) (root, path string, err error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if f, err := os.Open(gomod); err == nil {
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module line", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", start)
+		}
+		dir = parent
+	}
+}
+
+// importPath maps a directory to its import path within the module, so
+// cross-package indexes match the import specs in source files.
+func importPath(modRoot, modPath, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}

@@ -26,14 +26,20 @@ func main() {
 	fs.Parse(os.Args[2:])
 
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
+	defer func() {
+		w.Flush()
+		if err := w.Error(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: writing output: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	switch os.Args[1] {
 	case "dslam":
 		tr := traces.GenerateDSLAM(traces.DSLAMConfig{Users: *users}, *seed)
-		w.Write([]string{"userid", "time_s", "size_bytes"})
+		_ = w.Write([]string{"userid", "time_s", "size_bytes"}) // sticky; checked via w.Error at exit
 		for _, s := range tr.Sessions {
-			w.Write([]string{
+			_ = w.Write([]string{
 				strconv.Itoa(s.UserID),
 				strconv.FormatFloat(s.Time, 'f', 1, 64),
 				strconv.FormatFloat(s.SizeBytes, 'f', 0, 64),
@@ -47,7 +53,7 @@ func main() {
 				header = append(header, fmt.Sprintf("month%d", m))
 			}
 		}
-		w.Write(header)
+		_ = w.Write(header) // sticky; checked via w.Error at exit
 		for _, u := range population {
 			row := []string{
 				strconv.Itoa(u.ID),
@@ -57,7 +63,7 @@ func main() {
 			for _, m := range u.MonthlyUsage {
 				row = append(row, strconv.FormatFloat(m, 'f', 0, 64))
 			}
-			w.Write(row)
+			_ = w.Write(row)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", os.Args[1])

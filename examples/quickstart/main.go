@@ -24,7 +24,7 @@ import (
 func main() {
 	// An origin server with ten 1 MB files.
 	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Write(bytes.Repeat([]byte("3GOL"), 256*1024))
+		_, _ = w.Write(bytes.Repeat([]byte("3GOL"), 256*1024))
 	}))
 	defer origin.Close()
 

@@ -1,0 +1,41 @@
+// Package clock provides an injectable wall-clock abstraction. Components
+// that genuinely operate in real time (the netem shapers pacing real TCP
+// connections, the scheduler timing real transfers, RRC state machines)
+// take a Clock instead of calling the time package directly, so tests can
+// substitute a fake and the 3golvet wallclock analyzer can verify that no
+// simulation code reads wall time behind the virtual clock's back.
+//
+// Purely virtual-time simulations use internal/simclock instead; this
+// package is for code that must eventually sleep for real.
+package clock
+
+import "time"
+
+// Clock is a source of wall-clock time and real sleeps.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	Sleep(d time.Duration)
+}
+
+// System is the process-wide real clock. These three methods are the
+// repository's only sanctioned direct wall-clock calls outside of
+// daemons, tests and annotated real-time protocol code.
+var System Clock = sysClock{}
+
+type sysClock struct{}
+
+func (sysClock) Now() time.Time { return time.Now() } //3golvet:allow wallclock
+
+func (sysClock) Since(t time.Time) time.Duration { return time.Since(t) } //3golvet:allow wallclock
+
+func (sysClock) Sleep(d time.Duration) { time.Sleep(d) } //3golvet:allow wallclock
+
+// Or returns c, or System when c is nil — the standard way for a struct
+// with an optional Clock field to resolve its time source.
+func Or(c Clock) Clock {
+	if c == nil {
+		return System
+	}
+	return c
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,12 +27,19 @@ func testVideo() hls.Video {
 	}
 }
 
+func testTimeScale() float64 {
+	if raceEnabled {
+		return 20
+	}
+	return 40
+}
+
 func testHome(t *testing.T, phones ...PhoneConfig) *Home {
 	t.Helper()
 	h, err := NewHome(HomeConfig{
 		DSLDown:   2e6,
 		DSLUp:     0.5e6,
-		TimeScale: 40,
+		TimeScale: testTimeScale(),
 		Phones:    phones,
 		Seed:      42,
 	})
@@ -158,7 +166,7 @@ func TestBoostedVoDWithoutPhonesDegradesGracefully(t *testing.T) {
 }
 
 func TestBoostedUploadBeatsBaseline(t *testing.T) {
-	var received int
+	var received atomic.Int64
 	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mr, err := r.MultipartReader()
 		if err != nil {
@@ -170,8 +178,8 @@ func TestBoostedUploadBeatsBaseline(t *testing.T) {
 			if err != nil {
 				break
 			}
-			io.Copy(io.Discard, part)
-			received++
+			_, _ = io.Copy(io.Discard, part)
+			received.Add(1)
 		}
 		w.WriteHeader(http.StatusCreated)
 	}))
@@ -198,8 +206,8 @@ func TestBoostedUploadBeatsBaseline(t *testing.T) {
 	if boost.Elapsed >= base.Elapsed {
 		t.Errorf("boosted upload %v not faster than baseline %v", boost.Elapsed, base.Elapsed)
 	}
-	if received < 12 {
-		t.Errorf("server received %d parts, want ≥12 (two transactions)", received)
+	if n := received.Load(); n < 12 {
+		t.Errorf("server received %d parts, want ≥12 (two transactions)", n)
 	}
 }
 
@@ -235,7 +243,7 @@ func TestColdStartPaysPromotionDelay(t *testing.T) {
 
 	run := func(warm bool) time.Duration {
 		h, err := NewHome(HomeConfig{
-			DSLDown: 2e6, DSLUp: 0.5e6, TimeScale: 40, Seed: 42,
+			DSLDown: 2e6, DSLUp: 0.5e6, TimeScale: testTimeScale(), Seed: 42,
 			RRCPromotionDelay: 30 * time.Second, // exaggerated so it dominates
 			Phones: []PhoneConfig{{
 				Name: "ph1", Down: 2e6, Up: 1.5e6,
@@ -267,11 +275,12 @@ func TestColdStartPaysPromotionDelay(t *testing.T) {
 }
 
 func TestScaleDuration(t *testing.T) {
+	ts := testTimeScale()
 	h := testHome(t)
-	if got := h.ScaleDuration(time.Second); got != 40*time.Second {
-		t.Errorf("ScaleDuration = %v, want 40s", got)
+	if got := h.ScaleDuration(time.Second); got != time.Duration(ts)*time.Second {
+		t.Errorf("ScaleDuration = %v, want %vs", got, ts)
 	}
-	if h.TimeScale() != 40 {
+	if h.TimeScale() != ts {
 		t.Errorf("TimeScale = %v", h.TimeScale())
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"threegol/internal/clock"
 	"threegol/internal/discovery"
 	"threegol/internal/netem"
 	"threegol/internal/proxy"
@@ -58,12 +59,16 @@ type HomeConfig struct {
 	RRCPromotionDelay time.Duration
 	// RRCTail is how long a phone stays warm after activity; 0 → 10 s.
 	RRCTail time.Duration
+	// Clock drives the emulation's real-time components (RRC state,
+	// netem pacing); nil selects the system clock.
+	Clock clock.Clock
 }
 
 // Home is a running emulated residence. Create with NewHome, release with
 // Close.
 type Home struct {
 	cfg HomeConfig
+	clk clock.Clock
 
 	adslDialer *netem.Dialer
 	adslDown   *netem.Limiter
@@ -86,6 +91,7 @@ type Phone struct {
 
 	dl, ul *netem.Limiter
 	procs  []*netem.RateProcess
+	clk    clock.Clock
 
 	rrcMu      sync.Mutex
 	warm       bool
@@ -99,7 +105,7 @@ type Phone struct {
 func (p *Phone) rrcDelay() time.Duration {
 	p.rrcMu.Lock()
 	defer p.rrcMu.Unlock()
-	now := time.Now()
+	now := p.clk.Now()
 	defer func() { p.lastActive = now }()
 	if p.warm && now.Sub(p.lastActive) <= p.tail {
 		return 0
@@ -111,9 +117,9 @@ func (p *Phone) rrcDelay() time.Duration {
 // WarmUp models the ICMP train: promotes the phone to DCH immediately.
 func (p *Phone) WarmUp() {
 	p.rrcMu.Lock()
+	defer p.rrcMu.Unlock()
 	p.warm = true
-	p.lastActive = time.Now()
-	p.rrcMu.Unlock()
+	p.lastActive = p.clk.Now()
 }
 
 // NewHome builds and starts the environment: phones run their proxies and
@@ -139,7 +145,7 @@ func NewHome(cfg HomeConfig) (*Home, error) {
 		tail = 10 * time.Second
 	}
 
-	h := &Home{cfg: cfg}
+	h := &Home{cfg: cfg, clk: clock.Or(cfg.Clock)}
 	adslPipe, dl, ul := netem.ADSLPipe(cfg.DSLDown, cfg.DSLUp, scale)
 	h.adslDialer = &netem.Dialer{Pipe: adslPipe, Seed: cfg.Seed}
 	h.adslDown, h.adslUp = dl, ul
@@ -174,6 +180,7 @@ func (h *Home) startPhone(i int, pc PhoneConfig, scale float64, promotion, tail 
 	hspaPipe, dl, ul := netem.HSPAPipe(pc.Down, pc.Up, scale)
 	ph := &Phone{
 		Name:      name,
+		clk:       h.clk,
 		dl:        dl,
 		ul:        ul,
 		promotion: time.Duration(float64(promotion) / scale),
@@ -181,7 +188,7 @@ func (h *Home) startPhone(i int, pc PhoneConfig, scale float64, promotion, tail 
 		warm:      pc.Warm,
 	}
 	if pc.Warm {
-		ph.lastActive = time.Now()
+		ph.lastActive = h.clk.Now()
 	}
 
 	if pc.Variability > 0 {
@@ -274,7 +281,7 @@ func (h *Home) PhoneClient(ph *Phone) *http.Client {
 		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
 			once.Do(func() {
 				if d := ph.rrcDelay(); d > 0 {
-					time.Sleep(d)
+					ph.clk.Sleep(d)
 				}
 			})
 			return wifiDialer.DialContext(ctx, network, addr)

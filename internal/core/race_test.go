@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled softens the test time scales: the race detector multiplies
+// the CPU cost of moving every byte, and at high acceleration that
+// per-byte overhead masquerades as link time and distorts margins.
+const raceEnabled = true

@@ -32,7 +32,7 @@ func GeneratePhotos(n int, seed int64) []Photo {
 			size = 64 * 1024
 		}
 		body := make([]byte, size)
-		rng.Read(body)
+		_, _ = rng.Read(body) // never fails per math/rand contract
 		photos[i] = Photo{Name: fmt.Sprintf("IMG_%04d.jpg", i+1), Data: body}
 	}
 	return photos

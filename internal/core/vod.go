@@ -125,17 +125,14 @@ func (v *vodProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	// Segment (or anything else): serve from the prefetch cache when the
 	// prefetcher has claimed it, else pass through over ADSL.
-	v.mu.Lock()
-	claimed := v.prefetch[target]
-	v.mu.Unlock()
-	if claimed {
+	if v.claimed(target) {
 		body, err := v.cache.Wait(r.Context(), target)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusGatewayTimeout)
 			return
 		}
 		w.Header().Set("Content-Type", "video/mp2t")
-		w.Write(body)
+		_, _ = w.Write(body) // client disconnects surface on the next request
 		return
 	}
 	v.passthrough(w, r, target)
@@ -191,7 +188,14 @@ func (v *vodProxy) servePlaylist(w http.ResponseWriter, r *http.Request, target 
 		v.startPrefetch(target, parsed.Media)
 	}
 	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
-	w.Write(body)
+	_, _ = w.Write(body) // client disconnects surface on the next request
+}
+
+// claimed reports whether the prefetcher owns the given segment URL.
+func (v *vodProxy) claimed(target string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.prefetch[target]
 }
 
 // startPrefetch launches the scheduler transaction for a media playlist
@@ -288,23 +292,32 @@ func (h *Home) BoostVoD(ctx context.Context, origin, masterPath string, opts VoD
 	}
 	// Attach the scheduler report when a prefetch ran (it finishes with
 	// or before the player's final segment read).
-	vp.mu.Lock()
-	started := len(vp.prefetch) > 0
-	vp.mu.Unlock()
-	if started {
+	if vp.started() {
 		select {
 		case <-vp.done:
 		case <-time.After(30 * time.Second):
 			return nil, fmt.Errorf("core: prefetch transaction did not finish")
 		}
-		vp.mu.Lock()
-		out.SchedulerReport, err = vp.report, vp.runErr
-		vp.mu.Unlock()
+		out.SchedulerReport, err = vp.outcome()
 		if err != nil {
 			return nil, fmt.Errorf("core: prefetch transaction: %w", err)
 		}
 	}
 	return out, nil
+}
+
+// started reports whether a prefetch transaction was launched.
+func (v *vodProxy) started() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.prefetch) > 0
+}
+
+// outcome returns the finished prefetch transaction's report and error.
+func (v *vodProxy) outcome() (*scheduler.Report, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.report, v.runErr
 }
 
 // BaselineVoD plays the video directly over the ADSL line (no 3GOL),

@@ -107,20 +107,26 @@ func (b *Beacon) send(conn *net.UDPConn) {
 	if err != nil {
 		return
 	}
-	conn.Write(payload)
+	_, _ = conn.Write(payload) // best-effort datagram; the next beat retries
 }
 
 // Stop halts the beacon. Safe to call twice.
 func (b *Beacon) Stop() {
-	b.mu.Lock()
-	stop := b.stop
-	b.stop = nil
-	b.mu.Unlock()
+	stop := b.takeStop()
 	if stop == nil {
 		return
 	}
 	close(stop)
 	b.wg.Wait()
+}
+
+// takeStop claims the stop channel, leaving nil so Stop is idempotent.
+func (b *Beacon) takeStop() chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	stop := b.stop
+	b.stop = nil
+	return stop
 }
 
 // Browser listens for announcements and maintains the live device table.
@@ -153,13 +159,18 @@ func (br *Browser) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("discovery: listening on %q: %w", addr, err)
 	}
-	br.mu.Lock()
-	br.conn = conn
-	br.entries = make(map[string]entry)
-	br.mu.Unlock()
+	br.init(conn)
 	br.wg.Add(1)
 	go br.receive(conn)
 	return conn.LocalAddr().String(), nil
+}
+
+// init publishes the listening socket and resets the entry table.
+func (br *Browser) init(conn *net.UDPConn) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	br.conn = conn
+	br.entries = make(map[string]entry)
 }
 
 func (br *Browser) receive(conn *net.UDPConn) {
@@ -174,11 +185,17 @@ func (br *Browser) receive(conn *net.UDPConn) {
 		if err := json.Unmarshal(buf[:n], &ann); err != nil || ann.Name == "" {
 			continue // malformed datagram: ignore
 		}
-		br.mu.Lock()
-		if !br.closed {
-			br.entries[ann.Name] = entry{ann: ann, seen: time.Now()}
-		}
-		br.mu.Unlock()
+		br.record(ann)
+	}
+}
+
+// record stamps an announcement with its wall-clock arrival time; beacon
+// liveness is a real-network protocol, not simulated time.
+func (br *Browser) record(ann Announcement) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if !br.closed {
+		br.entries[ann.Name] = entry{ann: ann, seen: time.Now()} //3golvet:allow wallclock
 	}
 }
 
@@ -194,7 +211,7 @@ func (br *Browser) ttl() time.Duration {
 func (br *Browser) Devices() []Announcement {
 	br.mu.Lock()
 	defer br.mu.Unlock()
-	cutoff := time.Now().Add(-br.ttl())
+	cutoff := time.Now().Add(-br.ttl()) //3golvet:allow wallclock — TTLs age in wall time
 	out := make([]Announcement, 0, len(br.entries))
 	for name, e := range br.entries {
 		if e.seen.Before(cutoff) {
@@ -209,13 +226,13 @@ func (br *Browser) Devices() []Announcement {
 // WaitFor blocks until at least n devices are visible or the timeout
 // elapses, returning the set either way.
 func (br *Browser) WaitFor(n int, timeout time.Duration) []Announcement {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //3golvet:allow wallclock — polls a live UDP socket
 	for {
 		devs := br.Devices()
-		if len(devs) >= n || time.Now().After(deadline) {
+		if len(devs) >= n || time.Now().After(deadline) { //3golvet:allow wallclock
 			return devs
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //3golvet:allow wallclock
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package evalwild
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package evalwild
+
+// raceEnabled softens the test time scales: the race detector multiplies
+// the CPU cost of moving every byte, and at high acceleration that
+// per-byte overhead masquerades as link time and distorts ratios.
+const raceEnabled = true

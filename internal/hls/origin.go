@@ -145,7 +145,7 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case len(parts) == 2 && parts[1] == "master.m3u8":
 		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
-		o.MasterPlaylist().Encode(w)
+		_ = o.MasterPlaylist().Encode(w) // client disconnect; nothing to do
 	case len(parts) == 3 && parts[2] == "playlist.m3u8":
 		q, ok := o.video.QualityByName(parts[1])
 		if !ok {
@@ -153,7 +153,7 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
-		o.MediaPlaylist(q).Encode(w)
+		_ = o.MediaPlaylist(q).Encode(w) // client disconnect; nothing to do
 	case len(parts) == 3 && strings.HasPrefix(parts[2], "seg") && path.Ext(parts[2]) == ".ts":
 		q, ok := o.video.QualityByName(parts[1])
 		if !ok {

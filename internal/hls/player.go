@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/url"
 	"time"
+
+	"threegol/internal/clock"
 )
 
 // PlayerResult reports what a playback session measured.
@@ -39,6 +41,8 @@ type Player struct {
 	// PrebufferFrac is the fraction of the video duration that must be
 	// buffered before playout starts (the paper sweeps 20%..100%).
 	PrebufferFrac float64
+	// Clock measures playback timings; nil selects the system clock.
+	Clock clock.Clock
 }
 
 // Play downloads the video variant named quality from the master
@@ -48,7 +52,8 @@ func (p *Player) Play(ctx context.Context, masterURL, quality string) (*PlayerRe
 	if p.Client == nil {
 		return nil, fmt.Errorf("hls: Player.Client is nil")
 	}
-	start := time.Now()
+	clk := clock.Or(p.Clock)
+	start := clk.Now()
 
 	master, err := p.fetchPlaylist(ctx, masterURL)
 	if err != nil {
@@ -91,10 +96,10 @@ func (p *Player) Play(ctx context.Context, masterURL, quality string) (*PlayerRe
 		res.Segments++
 		buffered += seg.Duration
 		if res.PrebufferTime == 0 && (target <= 0 || buffered >= target-1e-9) {
-			res.PrebufferTime = time.Since(start)
+			res.PrebufferTime = clk.Since(start)
 		}
 	}
-	res.TotalTime = time.Since(start)
+	res.TotalTime = clk.Since(start)
 	if res.PrebufferTime == 0 {
 		res.PrebufferTime = res.TotalTime
 	}

@@ -42,7 +42,7 @@ func (m *MasterPlaylist) Encode(w io.Writer) error {
 // String renders the playlist to a string.
 func (m *MasterPlaylist) String() string {
 	var sb strings.Builder
-	m.Encode(&sb)
+	_ = m.Encode(&sb) // strings.Builder writes cannot fail
 	return sb.String()
 }
 
@@ -85,7 +85,7 @@ func (m *MediaPlaylist) Encode(w io.Writer) error {
 // String renders the playlist to a string.
 func (m *MediaPlaylist) String() string {
 	var sb strings.Builder
-	m.Encode(&sb)
+	_ = m.Encode(&sb) // strings.Builder writes cannot fail
 	return sb.String()
 }
 

@@ -133,7 +133,10 @@ type FlowSpec struct {
 }
 
 // StartFlow begins a fluid transfer now. It panics on an empty path or a
-// non-positive size — both are experiment configuration errors.
+// non-positive size — both are experiment configuration errors. A link
+// appearing more than once in the path is collapsed to a single traversal:
+// link membership is a set, and the water-filling allocator charges each
+// flow against each distinct link exactly once.
 func (s *Simulator) StartFlow(spec FlowSpec) *Flow {
 	if len(spec.Path) == 0 {
 		panic("linksim: StartFlow with empty path")
@@ -141,6 +144,7 @@ func (s *Simulator) StartFlow(spec FlowSpec) *Flow {
 	if spec.Bits <= 0 {
 		panic(fmt.Sprintf("linksim: StartFlow %q with size %v", spec.Name, spec.Bits))
 	}
+	spec.Path = dedupLinks(spec.Path)
 	w := spec.Weight
 	if w <= 0 {
 		w = 1
@@ -343,6 +347,24 @@ func (s *Simulator) reallocate() {
 	}
 
 	s.scheduleNextCompletion()
+}
+
+// dedupLinks returns the path with duplicate links removed, preserving
+// first-occurrence order. Without this, a path like [a, a] would charge
+// link a twice per freeze while its weight accounting counted the flow
+// once, driving st.weight negative and silently disabling the link as a
+// constraint for every later water-filling round (over-allocation).
+func dedupLinks(path []*Link) []*Link {
+	seen := make(map[*Link]struct{}, len(path))
+	out := path[:0:0]
+	for _, l := range path {
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		out = append(out, l)
+	}
+	return out
 }
 
 func cappedOr(r, cap float64) float64 {

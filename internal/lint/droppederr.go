@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DroppedErr flags bare statements that call a function whose last result
+// is an error, silently discarding it. Without a type checker the
+// analyzer proves "returns error" three ways, all conservative:
+//
+//   - f(...)     — f is a package-level function of the same package;
+//   - pkg.F(...) — pkg is another package loaded in the same program
+//     (the repo's own internal packages when run over ./...);
+//   - x.M(...)   — every method named M declared anywhere in the loaded
+//     program has error as its last result, so the call drops an error
+//     whatever x's type is.
+//
+// Method names that collide with void methods of the stdlib sync
+// primitives (sync.WaitGroup.Wait, sync.Cond.Wait, ...) are exempt from
+// the third rule: those receivers are invisible to the loaded program, so
+// name matching alone would misfire on them.
+//
+// Assign to _ explicitly (or handle the error) to acknowledge a discard.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flags call statements whose error result is silently discarded",
+	Run:  runDroppedErr,
+}
+
+// syncMethodNames are void on the stdlib sync primitives; name-based
+// matching must never flag them.
+var syncMethodNames = map[string]bool{
+	"Wait": true, "Done": true, "Add": true,
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"Broadcast": true, "Signal": true, "Store": true, "Swap": true,
+}
+
+func runDroppedErr(f *File, report Reporter) {
+	// Map local import aliases to packages loaded in this program.
+	imports := make(map[string]*Package)
+	for _, spec := range f.AST.Imports {
+		pkg := f.Pkg.Prog.byPath[strings.Trim(spec.Path.Value, `"`)]
+		if pkg == nil {
+			continue
+		}
+		alias := pkg.Name
+		if spec.Name != nil {
+			alias = spec.Name.Name
+		}
+		imports[alias] = pkg
+	}
+
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			// Same-package function call; skip identifiers resolved to
+			// local (shadowing) declarations that are not FuncDecls.
+			if fun.Obj != nil {
+				if _, isFunc := fun.Obj.Decl.(*ast.FuncDecl); !isFunc {
+					return true
+				}
+			}
+			if f.Pkg.funcErr[fun.Name] {
+				report(call.Pos(), "%s returns an error that is discarded; handle it or assign to _ explicitly", fun.Name)
+			}
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok && id.Obj == nil {
+				if pkg, isPkg := imports[id.Name]; isPkg {
+					if pkg.funcErr[fun.Sel.Name] {
+						report(call.Pos(), "%s.%s returns an error that is discarded; handle it or assign to _ explicitly",
+							id.Name, fun.Sel.Name)
+					}
+					return true
+				}
+			}
+			if f.Pkg.Prog.methodErr[fun.Sel.Name] && !syncMethodNames[fun.Sel.Name] {
+				report(call.Pos(), "%s.%s returns an error that is discarded; handle it or assign to _ explicitly",
+					exprString(fun.X), fun.Sel.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files under testdata")
+
+// goldenFixtures lists the fixture packages under testdata/src. Each is
+// loaded under import path "fixture/<name>" (after its deps) and its
+// diagnostics are compared line-for-line against <dir>/expected.golden.
+var goldenFixtures = []struct {
+	name string
+	deps []string // fixture packages loaded first, resolvable by import
+}{
+	{name: "simwall"},
+	{name: "realwall"},
+	{name: "randglobal"},
+	{name: "locks"},
+	{name: "droppederr", deps: []string{"errpkg"}},
+	{name: "clean"},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenFixtures {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := NewProgram()
+			for _, dep := range append(tc.deps, tc.name) {
+				dir := filepath.Join("testdata", "src", dep)
+				if _, err := prog.LoadDir(dir, "fixture/"+dep); err != nil {
+					t.Fatalf("LoadDir(%s): %v", dir, err)
+				}
+			}
+			var lines []string
+			for _, d := range prog.Run(Analyzers()) {
+				// Deps are loaded too, but only the fixture's own file
+				// is compared against its golden.
+				if filepath.Base(filepath.Dir(d.Position.Filename)) != tc.name {
+					continue
+				}
+				d.Position.Filename = filepath.Base(d.Position.Filename)
+				lines = append(lines, d.String())
+			}
+			got := strings.Join(lines, "\n")
+			if got != "" {
+				got += "\n"
+			}
+
+			goldenPath := filepath.Join("testdata", "src", tc.name, "expected.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run TestGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSuppressionScope pins the directive semantics: an allow suppresses
+// on its own line and the line below, and only for the named analyzer.
+func TestSuppressionScope(t *testing.T) {
+	f := &File{allow: map[int][]string{
+		10: {"wallclock"},
+		20: {"wallclock", "randsource"},
+	}}
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"wallclock", 10, true},  // same line
+		{"wallclock", 11, true},  // line below a directive
+		{"wallclock", 12, false}, // two lines below: out of scope
+		{"wallclock", 9, false},  // directive does not reach upward
+		{"randsource", 10, false},
+		{"randsource", 20, true}, // multi-analyzer directive
+		{"locksafe", 21, false},
+	}
+	for _, c := range cases {
+		if got := f.Allowed(c.analyzer, c.line); got != c.want {
+			t.Errorf("Allowed(%q, %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}
+
+// TestVetCommand runs the actual cmd/3golvet binary against fixture
+// directories and asserts the documented exit statuses: 1 when findings
+// survive, 0 on a clean tree.
+func TestVetCommand(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	run := func(dir string) (string, int) {
+		t.Helper()
+		cmd := exec.Command("go", "run", "threegol/cmd/3golvet", dir)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("go run 3golvet %s: %v\n%s", dir, err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	out, code := run("./testdata/src/locks")
+	if code != 1 {
+		t.Fatalf("exit code on violating fixture = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[locksafe]") {
+		t.Errorf("output missing [locksafe] finding:\n%s", out)
+	}
+
+	out, code = run("./testdata/src/clean")
+	if code != 0 {
+		t.Fatalf("exit code on clean fixture = %d, want 0\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean fixture produced output:\n%s", out)
+	}
+}

@@ -1,0 +1,124 @@
+package lint
+
+import "go/ast"
+
+// LockSafe flags mu.Lock() (or mu.RLock()) statements that are not
+// immediately followed by defer mu.Unlock() inside functions with more
+// than one way out. Manual unlock discipline is easy to get right with a
+// single exit and easy to get wrong once early returns appear — a missed
+// path deadlocks every later locker. Intentional manual sites (condition
+// variables, unlock-before-callback) carry //3golvet:allow locksafe.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags Lock() without an immediate defer Unlock() in functions with multiple return paths",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(f *File, report Reporter) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkLockDiscipline(fn.Body, report)
+			}
+		case *ast.FuncLit:
+			checkLockDiscipline(fn.Body, report)
+		}
+		return true
+	})
+}
+
+func checkLockDiscipline(body *ast.BlockStmt, report Reporter) {
+	if !multipleReturnPaths(body) {
+		return
+	}
+	inspectSameFunc(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			recv, kind, ok := lockCall(st)
+			if !ok {
+				continue
+			}
+			if i+1 < len(list) && isDeferUnlock(list[i+1], recv, kind) {
+				continue
+			}
+			report(st.Pos(), "%s.%s() is not immediately followed by defer %s.%s() in a function with multiple return paths",
+				recv, kind, recv, unlockName(kind))
+		}
+		return true
+	})
+}
+
+// multipleReturnPaths reports whether the function body has more than one
+// way to exit: two or more return statements, or one early return plus
+// falling off the end.
+func multipleReturnPaths(body *ast.BlockStmt) bool {
+	returns := 0
+	inspectSameFunc(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			returns++
+		}
+		return true
+	})
+	if returns >= 2 {
+		return true
+	}
+	if returns == 0 {
+		return false
+	}
+	// One return: multiple paths unless it is the body's final statement.
+	if len(body.List) == 0 {
+		return false
+	}
+	_, endsWithReturn := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return !endsWithReturn
+}
+
+// lockCall matches a bare statement of the form recv.Lock() / recv.RLock().
+func lockCall(st ast.Stmt) (recv, kind string, ok bool) {
+	es, isExpr := st.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if name := sel.Sel.Name; name == "Lock" || name == "RLock" {
+		return exprString(sel.X), name, true
+	}
+	return "", "", false
+}
+
+func isDeferUnlock(st ast.Stmt, recv, kind string) bool {
+	ds, ok := st.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := ds.Call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == unlockName(kind) && exprString(sel.X) == recv
+}
+
+func unlockName(kind string) string {
+	if kind == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}

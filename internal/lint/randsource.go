@@ -1,0 +1,58 @@
+package lint
+
+import "go/ast"
+
+// globalRandFuncs are the math/rand (and math/rand/v2) top-level
+// functions that draw from the global, non-injectable source. rand.New,
+// rand.NewSource and rand.NewZipf are constructors and stay legal.
+var globalRandFuncs = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "ExpFloat64": true, "NormFloat64": true, "Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+// RandSource flags uses of the global math/rand source. Every simulation
+// draws randomness from a *rand.Rand seeded by experiment config so runs
+// replay identically; the global source defeats that and is additionally
+// a contention point under -race workloads.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc:  "flags global math/rand top-level functions; use an injected *rand.Rand seeded from config",
+	Run:  runRandSource,
+}
+
+func runRandSource(f *File, report Reporter) {
+	aliases := make(map[string]bool, 2)
+	for _, path := range [2]string{"math/rand", "math/rand/v2"} {
+		if a := importAlias(f.AST, path); a != "" {
+			aliases[a] = true
+		}
+	}
+	if len(aliases) == 0 {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !aliases[id.Name] || id.Obj != nil {
+			return true
+		}
+		if globalRandFuncs[sel.Sel.Name] {
+			report(call.Pos(), "global rand.%s draws from the shared math/rand source: use an injected *rand.Rand seeded from config",
+				sel.Sel.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,9 @@
+// Fixture: a file with no findings, used to assert the zero-exit path.
+package clean
+
+import "fmt"
+
+// Greet formats a greeting.
+func Greet(name string) string {
+	return fmt.Sprintf("hello, %s", name)
+}

@@ -1,0 +1,47 @@
+// Fixture: bare call statements discarding error results.
+package droppederr
+
+import (
+	"errors"
+	"sync"
+
+	"fixture/errpkg"
+)
+
+func local() error { return errors.New("boom") }
+
+func void() {}
+
+type thing struct{}
+
+// Flush is the only method of this name in the program, so a bare call
+// provably drops its error.
+func (thing) Flush() error { return nil }
+
+func bad() {
+	local()
+	errpkg.Fallible()
+	var t thing
+	t.Flush()
+}
+
+func finePatterns() error {
+	void()
+	errpkg.Infallible()
+	if err := local(); err != nil {
+		return err
+	}
+	_ = local()
+	var wg sync.WaitGroup
+	wg.Wait() // sync deny-list: never flagged despite any Wait method elsewhere
+	return nil
+}
+
+func suppressed() {
+	local() //3golvet:allow droppederr
+}
+
+func shadowedLocalIsFine() {
+	local := func() {}
+	local()
+}

@@ -1,0 +1,11 @@
+// Fixture dependency: loaded under import path "fixture/errpkg" so the
+// droppederr fixture can exercise the cross-package rule.
+package errpkg
+
+import "errors"
+
+// Fallible returns an error.
+func Fallible() error { return errors.New("boom") }
+
+// Infallible does not.
+func Infallible() {}

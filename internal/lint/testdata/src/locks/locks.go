@@ -1,0 +1,75 @@
+// Fixture: mutex discipline in functions with multiple return paths.
+package locks
+
+import "sync"
+
+type box struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (b *box) bad(flip bool) int {
+	b.mu.Lock()
+	if flip {
+		b.mu.Unlock()
+		return -1
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) good(flip bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if flip {
+		return -1
+	}
+	return b.n
+}
+
+func (b *box) badRead(flip bool) int {
+	b.mu.RLock()
+	if flip {
+		b.mu.RUnlock()
+		return -1
+	}
+	b.mu.RUnlock()
+	return b.n
+}
+
+func (b *box) singleExitIsFine() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) suppressed(flip bool) int {
+	b.mu.Lock() //3golvet:allow locksafe — releases early before a callback
+	if flip {
+		b.mu.Unlock()
+		return -1
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) wrongDeferKind(flip bool) int {
+	b.mu.RLock()
+	defer b.mu.Unlock()
+	if flip {
+		return -1
+	}
+	return b.n
+}
+
+func (b *box) insideClosure() func(bool) int {
+	return func(flip bool) int {
+		b.mu.Lock()
+		if flip {
+			b.mu.Unlock()
+			return -1
+		}
+		b.mu.Unlock()
+		return b.n
+	}
+}

@@ -1,0 +1,22 @@
+// Fixture: global math/rand draws versus an injected *rand.Rand.
+package randglobal
+
+import "math/rand"
+
+func bad() float64 {
+	rand.Shuffle(3, func(i, j int) {})
+	return rand.Float64() + float64(rand.Intn(10))
+}
+
+func injectedIsFine(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func constructorsAreFine() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func suppressed() int {
+	//3golvet:allow randsource
+	return rand.Int()
+}

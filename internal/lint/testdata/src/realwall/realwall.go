@@ -1,0 +1,13 @@
+// Fixture: wall-clock calls outside the simulation packages still get
+// flagged, with the softer inject-or-annotate message.
+package realwall
+
+import "time"
+
+func bad() time.Time {
+	return time.Now()
+}
+
+func annotated() {
+	time.Sleep(time.Second) //3golvet:allow wallclock — real backoff against a live peer
+}

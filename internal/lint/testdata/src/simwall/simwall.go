@@ -1,0 +1,34 @@
+// Fixture: wall-clock calls inside a simulation package (the package
+// clause says linksim, which is on the SimPackages list).
+package linksim
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()
+	time.Sleep(5 * time.Millisecond)
+	return time.Since(start)
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //3golvet:allow wallclock
+}
+
+func suppressedLineAbove() {
+	//3golvet:allow wallclock — reason prose after the name is ignored
+	time.Sleep(time.Millisecond)
+}
+
+func wrongAnalyzerName() time.Time {
+	return time.Now() //3golvet:allow randsource
+}
+
+func shadowedTimeIsFine() int {
+	time := counter{}
+	time.Now()
+	return time.n
+}
+
+type counter struct{ n int }
+
+func (c counter) Now() {}

@@ -1,0 +1,62 @@
+package lint
+
+import "go/ast"
+
+// SimPackages names the simulation packages (by package clause name) that
+// must take time from internal/simclock or an injected clock.Clock and
+// randomness from an injected *rand.Rand: their outputs feed the paper's
+// trace-driven evaluation and must be bit-for-bit reproducible.
+var SimPackages = map[string]bool{
+	"linksim":   true,
+	"tracesim":  true,
+	"scheduler": true,
+	"netem":     true,
+	"dsl":       true,
+	"cellular":  true,
+	"diurnal":   true,
+	"evalwild":  true,
+	"core":      true,
+	"hls":       true,
+}
+
+// Wallclock flags direct wall-clock reads and sleeps. Simulation packages
+// get a stricter message; everywhere else the call is still reported so
+// that intentional real-time sites carry an explicit annotation.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now/time.Since/time.Sleep; sim packages must use simclock or an injected Clock",
+	Run:  runWallclock,
+}
+
+func runWallclock(f *File, report Reporter) {
+	alias := importAlias(f.AST, "time")
+	if alias == "" {
+		return
+	}
+	sim := SimPackages[f.Pkg.Name]
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != alias || id.Obj != nil { // Obj != nil: shadowed local
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Now", "Since", "Sleep":
+			if sim {
+				report(call.Pos(), "time.%s in simulation package %q: use simclock or an injected clock.Clock",
+					sel.Sel.Name, f.Pkg.Name)
+			} else {
+				report(call.Pos(), "time.%s reads the wall clock: inject a clock.Clock, or annotate //3golvet:allow wallclock if real time is intended",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"threegol/internal/clock"
 )
 
 // Shape describes one direction of an emulated link.
@@ -36,6 +38,8 @@ type Pipe struct {
 	// TimeScale > 1 accelerates the emulation: rates ×S, delays ÷S.
 	// Zero means 1 (real time).
 	TimeScale float64
+	// Clock paces the emulated link; nil selects the system clock.
+	Clock clock.Clock
 }
 
 func (p Pipe) scale() float64 {
@@ -47,6 +51,7 @@ func (p Pipe) scale() float64 {
 
 // shaper paces one direction of one connection.
 type shaper struct {
+	clk        clock.Clock
 	limiters   []*Limiter
 	latency    time.Duration
 	jitter     time.Duration
@@ -58,8 +63,9 @@ type shaper struct {
 	latentcy sync.Once // pays the one-way latency once per connection
 }
 
-func newShaper(s Shape, scale float64, seed int64) *shaper {
+func newShaper(s Shape, scale float64, seed int64, clk clock.Clock) *shaper {
 	sh := &shaper{
+		clk:        clk,
 		latency:    time.Duration(float64(s.Latency) / scale),
 		jitter:     time.Duration(float64(s.Jitter) / scale),
 		stallProb:  s.StallProb,
@@ -80,7 +86,7 @@ func (s *shaper) pace(n int) {
 	}
 	s.latentcy.Do(func() {
 		if s.latency > 0 {
-			time.Sleep(s.latency)
+			s.clk.Sleep(s.latency)
 		}
 	})
 	bits := float64(n) * 8
@@ -90,17 +96,25 @@ func (s *shaper) pace(n int) {
 			wait = d
 		}
 	}
+	wait += s.stochasticDelay()
+	if wait > 0 {
+		s.clk.Sleep(wait)
+	}
+}
+
+// stochasticDelay draws the per-chunk jitter and stall penalty under the
+// shaper's lock (the rng is not safe for concurrent use).
+func (s *shaper) stochasticDelay() time.Duration {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	var d time.Duration
 	if s.jitter > 0 {
-		wait += time.Duration(s.rng.Int63n(int64(s.jitter)))
+		d += time.Duration(s.rng.Int63n(int64(s.jitter)))
 	}
 	if s.stallProb > 0 && s.rng.Float64() < s.stallProb {
-		wait += s.stallDelay
+		d += s.stallDelay
 	}
-	s.mu.Unlock()
-	if wait > 0 {
-		time.Sleep(wait)
-	}
+	return d
 }
 
 // Conn is a net.Conn whose reads and writes are shaped.
@@ -149,10 +163,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 // connections; use Shape.Shared for contended capacity).
 func WrapConn(conn net.Conn, pipe Pipe, seed int64) *Conn {
 	scale := pipe.scale()
+	clk := clock.Or(pipe.Clock)
 	return &Conn{
 		Conn: conn,
-		down: newShaper(pipe.Down, scale, seed),
-		up:   newShaper(pipe.Up, scale, seed+1),
+		down: newShaper(pipe.Down, scale, seed, clk),
+		up:   newShaper(pipe.Up, scale, seed+1, clk),
 	}
 }
 
@@ -179,11 +194,16 @@ func (d *Dialer) DialContext(ctx context.Context, network, addr string) (net.Con
 	if err != nil {
 		return nil, err
 	}
+	return WrapConn(conn, d.Pipe, d.nextSeed()), nil
+}
+
+// nextSeed derives the next per-connection sub-seed.
+func (d *Dialer) nextSeed() int64 {
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	seed := d.Seed + d.next
 	d.next += 2
-	d.mu.Unlock()
-	return WrapConn(conn, d.Pipe, seed), nil
+	return seed
 }
 
 // Listener wraps accepted connections in a pipe shape. Down/Up are from
@@ -204,16 +224,23 @@ func (l *Listener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	seed := l.Seed + l.next
-	l.next += 2
-	l.mu.Unlock()
+	seed := l.nextSeed()
 	// From the server side, writes head toward the client (down) and
 	// reads arrive from the client (up): swap relative to WrapConn.
 	scale := l.Pipe.scale()
+	clk := clock.Or(l.Pipe.Clock)
 	return &Conn{
 		Conn: conn,
-		down: newShaper(l.Pipe.Up, scale, seed),     // server reads = client's up
-		up:   newShaper(l.Pipe.Down, scale, seed+1), // server writes = client's down
+		down: newShaper(l.Pipe.Up, scale, seed, clk),     // server reads = client's up
+		up:   newShaper(l.Pipe.Down, scale, seed+1, clk), // server writes = client's down
 	}, nil
+}
+
+// nextSeed derives the next per-connection sub-seed.
+func (l *Listener) nextSeed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seed := l.Seed + l.next
+	l.next += 2
+	return seed
 }

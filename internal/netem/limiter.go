@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"threegol/internal/clock"
 )
 
 // Limiter is a token-bucket rate limiter shared by any number of
@@ -23,6 +25,7 @@ import (
 // (the Wi-Fi BSS goodput cap, one phone's 3G radio, the ADSL line).
 // The zero value is unusable; construct with NewLimiter.
 type Limiter struct {
+	clk    clock.Clock
 	mu     sync.Mutex
 	rate   float64 // bits per second (already time-scaled by the owner)
 	bucket float64 // available bits; may go negative (debt)
@@ -34,13 +37,20 @@ type Limiter struct {
 // pipelines busy, shallow enough that rate changes take effect quickly.
 const DefaultBurst = 32 * 8 * 1024 // 32 KB in bits
 
-// NewLimiter creates a limiter. rate is in bits/s; burst ≤ 0 selects
-// DefaultBurst. A rate ≤ 0 means unlimited.
+// NewLimiter creates a limiter on the system clock. rate is in bits/s;
+// burst ≤ 0 selects DefaultBurst. A rate ≤ 0 means unlimited.
 func NewLimiter(rate, burst float64) *Limiter {
+	return NewLimiterClock(rate, burst, clock.System)
+}
+
+// NewLimiterClock creates a limiter on an injected clock, for tests that
+// pace virtual time.
+func NewLimiterClock(rate, burst float64, clk clock.Clock) *Limiter {
 	if burst <= 0 {
 		burst = DefaultBurst
 	}
-	return &Limiter{rate: rate, bucket: burst, burst: burst, last: time.Now()}
+	clk = clock.Or(clk)
+	return &Limiter{clk: clk, rate: rate, bucket: burst, burst: burst, last: clk.Now()}
 }
 
 // SetRate changes the limiter's rate (bits/s). Safe for concurrent use;
@@ -48,7 +58,7 @@ func NewLimiter(rate, burst float64) *Limiter {
 func (l *Limiter) SetRate(rate float64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.refill(time.Now())
+	l.refill(l.clk.Now())
 	l.rate = rate
 }
 
@@ -79,7 +89,7 @@ func (l *Limiter) Reserve(bits float64) time.Duration {
 	if l.rate <= 0 { // unlimited
 		return 0
 	}
-	now := time.Now()
+	now := l.clk.Now()
 	l.refill(now)
 	l.bucket -= bits
 	if l.bucket >= 0 {
@@ -91,7 +101,7 @@ func (l *Limiter) Reserve(bits float64) time.Duration {
 // Take reserves bits and sleeps out the returned debt.
 func (l *Limiter) Take(bits float64) {
 	if d := l.Reserve(bits); d > 0 {
-		time.Sleep(d)
+		l.clk.Sleep(d)
 	}
 }
 

@@ -124,9 +124,11 @@ func (r *RateProcess) Start(seed int64) {
 	go r.run(r.stop)
 }
 
+// phi is the AR(1) mean-reversion coefficient of the rate process.
+const phi = 0.8
+
 func (r *RateProcess) run(stop <-chan struct{}) {
 	defer r.wg.Done()
-	const phi = 0.8 // mean-reversion
 	ticker := time.NewTicker(r.Interval)
 	defer ticker.Stop()
 	for {
@@ -134,31 +136,42 @@ func (r *RateProcess) run(stop <-chan struct{}) {
 		case <-stop:
 			return
 		case <-ticker.C:
-			r.mu.Lock()
-			noise := r.rng.NormFloat64() * r.Std
-			r.x = 1 + phi*(r.x-1) + noise
-			if r.x < r.MinFactor {
-				r.x = r.MinFactor
-			}
-			if r.x > r.MaxFactor {
-				r.x = r.MaxFactor
-			}
-			r.Limiter.SetRate(r.Mean * r.x)
-			r.mu.Unlock()
+			r.step()
 		}
 	}
 }
 
+// step advances the AR(1) multiplier one interval and applies it.
+func (r *RateProcess) step() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	noise := r.rng.NormFloat64() * r.Std
+	r.x = 1 + phi*(r.x-1) + noise
+	if r.x < r.MinFactor {
+		r.x = r.MinFactor
+	}
+	if r.x > r.MaxFactor {
+		r.x = r.MaxFactor
+	}
+	r.Limiter.SetRate(r.Mean * r.x)
+}
+
 // Stop halts the updater and restores the mean rate.
 func (r *RateProcess) Stop() {
-	r.mu.Lock()
-	stop := r.stop
-	r.stop = nil
-	r.mu.Unlock()
+	stop := r.takeStop()
 	if stop == nil {
 		return
 	}
 	close(stop)
 	r.wg.Wait()
 	r.Limiter.SetRate(r.Mean)
+}
+
+// takeStop claims the stop channel, leaving nil so Stop is idempotent.
+func (r *RateProcess) takeStop() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stop := r.stop
+	r.stop = nil
+	return stop
 }

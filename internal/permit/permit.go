@@ -83,15 +83,20 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		resp.Granted = true
 		resp.TTLSeconds = b.ttl().Seconds()
 	}
+	b.count(resp.Granted)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp) // client disconnect; nothing to do
+}
+
+// count tallies one decision.
+func (b *Backend) count(granted bool) {
 	b.mu.Lock()
-	if resp.Granted {
+	defer b.mu.Unlock()
+	if granted {
 		b.grants++
 	} else {
 		b.denials++
 	}
-	b.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
 }
 
 // Stats reports how many requests were granted and denied.
@@ -130,16 +135,12 @@ func (c *Client) httpClient() *http.Client {
 // refreshing from the backend as needed. It is safe for concurrent use
 // and suitable as a proxy.Server Admit hook and a discovery.Beacon gate.
 func (c *Client) Allowed() bool {
-	c.mu.Lock()
-	if time.Now().Before(c.expires) {
-		ok := c.granted
-		c.mu.Unlock()
+	if ok, fresh := c.cached(); fresh {
 		return ok
 	}
-	c.mu.Unlock()
 
 	resp, err := c.fetch()
-	now := time.Now()
+	now := time.Now() //3golvet:allow wallclock — permit TTLs are wall-clock by protocol
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -160,11 +161,21 @@ func (c *Client) Allowed() bool {
 	return c.granted
 }
 
+// cached returns the granted decision while the permit is still fresh.
+func (c *Client) cached() (ok, fresh bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Now().Before(c.expires) { //3golvet:allow wallclock — permit TTLs are wall-clock by protocol
+		return c.granted, true
+	}
+	return false, false
+}
+
 // Invalidate drops the cached permit, forcing a refresh on next use.
 func (c *Client) Invalidate() {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.expires = time.Time{}
-	c.mu.Unlock()
 }
 
 func (c *Client) fetch() (*Response, error) {

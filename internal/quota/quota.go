@@ -164,8 +164,8 @@ func (t *Tracker) Use(n int64) {
 		return
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.used += n
-	t.mu.Unlock()
 }
 
 // Used reports bytes consumed today.

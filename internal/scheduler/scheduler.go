@@ -27,6 +27,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"threegol/internal/clock"
 )
 
 // Item is one unit of a transaction: an HLS segment, a photo, a file.
@@ -101,6 +103,9 @@ type Options struct {
 	// DisableDuplication turns off GRD's endgame re-assignment (the
 	// ablation knob for the paper's duplication design choice).
 	DisableDuplication bool
+	// Clock supplies elapsed-time measurement; nil selects the system
+	// clock. Tests and virtual-time harnesses inject a fake here.
+	Clock clock.Clock
 }
 
 func (o Options) minAlpha() float64 {
@@ -171,22 +176,23 @@ func Run(ctx context.Context, algo Algo, items []Item, paths []Path, opts Option
 	if len(items) == 0 {
 		return rep, nil
 	}
-	start := time.Now()
+	clk := clock.Or(opts.Clock)
+	start := clk.Now()
 	var err error
 	switch algo {
 	case Greedy, Playout:
-		err = runGreedy(ctx, algo, items, paths, opts, rep, start)
+		err = runGreedy(ctx, algo, items, paths, opts, rep, clk, start)
 	case RoundRobin:
-		err = runRoundRobin(ctx, items, paths, opts, rep, start)
+		err = runRoundRobin(ctx, items, paths, opts, rep, clk, start)
 	case MinTime:
-		err = runMinTime(ctx, items, paths, opts, rep, start)
+		err = runMinTime(ctx, items, paths, opts, rep, clk, start)
 	default:
 		err = fmt.Errorf("scheduler: unknown algorithm %v", algo)
 	}
 	if err != nil {
 		return nil, err
 	}
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = clk.Since(start)
 	return rep, nil
 }
 
@@ -194,21 +200,22 @@ func Run(ctx context.Context, algo Algo, items []Item, paths []Path, opts Option
 type tracker struct {
 	mu    sync.Mutex
 	rep   *Report
+	clk   clock.Clock
 	start time.Time
 	opts  Options
 	done  []bool
 	left  int
 }
 
-func newTracker(rep *Report, start time.Time, n int, opts Options) *tracker {
-	return &tracker{rep: rep, start: start, opts: opts, done: make([]bool, n), left: n}
+func newTracker(rep *Report, clk clock.Clock, start time.Time, n int, opts Options) *tracker {
+	return &tracker{rep: rep, clk: clk, start: start, opts: opts, done: make([]bool, n), left: n}
 }
 
 // complete records the first successful completion of item. It reports
 // whether this call was the winner (false when another replica already
 // completed the item).
 func (t *tracker) complete(item Item, pathName string, bytes int64) bool {
-	t.mu.Lock()
+	t.mu.Lock() //3golvet:allow locksafe — unlocks early so the OnItemDone callback runs outside the lock
 	t.addBytesLocked(pathName, bytes)
 	if t.done[item.ID] {
 		t.mu.Unlock()
@@ -216,7 +223,7 @@ func (t *tracker) complete(item Item, pathName string, bytes int64) bool {
 	}
 	t.done[item.ID] = true
 	t.left--
-	elapsed := time.Since(t.start)
+	elapsed := t.clk.Since(t.start)
 	t.rep.ItemDone[item.ID] = elapsed
 	st := t.rep.PerPath[pathName]
 	st.Items++
@@ -262,10 +269,16 @@ func (t *tracker) addWaste(bytes int64) {
 	t.mu.Unlock()
 }
 
+func (t *tracker) addDuplicate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rep.Duplicates++
+}
+
 // ----- Round robin -----
 
-func runRoundRobin(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, start time.Time) error {
-	trk := newTracker(rep, start, len(items), opts)
+func runRoundRobin(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, clk clock.Clock, start time.Time) error {
+	trk := newTracker(rep, clk, start, len(items), opts)
 	queues := make([][]Item, len(paths))
 	for i, it := range items {
 		q := i % len(paths)
@@ -303,12 +316,12 @@ func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t0 := time.Now()
+		t0 := trk.clk.Now()
 		n, err := p.Transfer(ctx, it)
 		if err == nil {
 			trk.complete(it, p.Name(), n)
 			if onSample != nil {
-				if secs := time.Since(t0).Seconds(); secs > 0 {
+				if secs := trk.clk.Since(t0).Seconds(); secs > 0 {
 					onSample(n, secs)
 				}
 			}
@@ -326,8 +339,8 @@ func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk
 
 // ----- MIN (estimated minimum completion time) -----
 
-func runMinTime(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, start time.Time) error {
-	trk := newTracker(rep, start, len(items), opts)
+func runMinTime(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, clk clock.Clock, start time.Time) error {
+	trk := newTracker(rep, clk, start, len(items), opts)
 	n := len(paths)
 
 	type pathState struct {
@@ -465,8 +478,8 @@ type flight struct {
 	replicas map[string]context.CancelFunc
 }
 
-func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts Options, rep *Report, start time.Time) error {
-	trk := newTracker(rep, start, len(items), opts)
+func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts Options, rep *Report, clk clock.Clock, start time.Time) error {
+	trk := newTracker(rep, clk, start, len(items), opts)
 
 	var (
 		mu       sync.Mutex
@@ -561,7 +574,7 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 		p := p
 		g.go_(func(ctx context.Context) error {
 			for {
-				mu.Lock()
+				mu.Lock() //3golvet:allow locksafe — condition-variable protocol; cond.Wait needs the raw mutex
 				var takeIdx int
 				for {
 					if failed != nil {
@@ -591,9 +604,7 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 					inflight[it.ID] = f
 				} else {
 					f = pickDuplicate(p.Name())
-					trk.mu.Lock()
-					trk.rep.Duplicates++
-					trk.mu.Unlock()
+					trk.addDuplicate()
 				}
 				tctx, cancel := context.WithCancel(ctx)
 				f.replicas[p.Name()] = cancel
@@ -607,7 +618,7 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 				replicaCancelled := tctx.Err() != nil
 				cancel()
 
-				mu.Lock()
+				mu.Lock() //3golvet:allow locksafe — outcome bookkeeping unlocks manually on the abort path
 				delete(f.replicas, p.Name())
 				switch {
 				case err == nil:

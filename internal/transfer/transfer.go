@@ -207,20 +207,29 @@ func (c *Cache) Get(name string) ([]byte, bool) {
 
 // Wait blocks until the item is cached or the context is cancelled.
 func (c *Cache) Wait(ctx context.Context, name string) ([]byte, error) {
-	c.mu.Lock()
-	if b, ok := c.entries[name]; ok {
-		c.mu.Unlock()
+	b, ch := c.subscribe(name)
+	if ch == nil {
 		return b, nil
 	}
-	ch := make(chan []byte, 1)
-	c.waiters[name] = append(c.waiters[name], ch)
-	c.mu.Unlock()
 	select {
 	case b := <-ch:
 		return b, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// subscribe returns the cached body (nil channel), or registers and
+// returns a waiter channel for a not-yet-cached item.
+func (c *Cache) subscribe(name string) ([]byte, chan []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.entries[name]; ok {
+		return b, nil
+	}
+	ch := make(chan []byte, 1)
+	c.waiters[name] = append(c.waiters[name], ch)
+	return nil, ch
 }
 
 // Len reports the number of cached entries.

@@ -108,7 +108,7 @@ func (s *Server) serveUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(map[string]any{"stored": stored})
+	_ = json.NewEncoder(w).Encode(map[string]any{"stored": stored}) // client disconnect; nothing to do
 }
 
 func (s *Server) record(name string, size int64, digest string, payload []byte) {
@@ -142,7 +142,7 @@ type Stats struct {
 
 func (s *Server) serveStats(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.Stats())
+	_ = json.NewEncoder(w).Encode(s.Stats()) // client disconnect; nothing to do
 }
 
 // Stats returns current counters.

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# check.sh — the repo's Tier-1 verification gate. Runs the full static
+# and dynamic check pipeline, failing fast at the first broken stage:
+#
+#   1. gofmt       — tree must be canonically formatted
+#   2. go vet      — stdlib static checks
+#   3. go build    — everything compiles
+#   4. 3golvet     — repo-specific determinism/concurrency analyzers
+#   5. go test -race — full suite under the race detector
+#
+# Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '==> gofmt'
+# Fixture files under testdata deliberately contain unidiomatic code but
+# are still kept gofmt-clean; no exclusions needed.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '==> go vet ./...'
+go vet ./...
+
+echo '==> go build ./...'
+go build ./...
+
+echo '==> go run ./cmd/3golvet ./...'
+go run ./cmd/3golvet ./...
+
+echo '==> go test -race ./...'
+# The prototype-path experiments run at gentler time scales under the
+# race detector (see the race_test.go files), which lengthens wall time;
+# give the slowest package headroom beyond the default 10m.
+go test -race -timeout 20m ./...
+
+echo 'check.sh: all stages passed'
