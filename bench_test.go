@@ -9,6 +9,7 @@ package threegol_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"threegol/internal/cellular"
 	"threegol/internal/diurnal"
 	"threegol/internal/evalwild"
+	"threegol/internal/fleet"
 	"threegol/internal/hls"
 	"threegol/internal/measure"
 	"threegol/internal/mptcp"
@@ -243,6 +245,32 @@ func BenchmarkFig11cAdoption(b *testing.B) {
 		full = pts[0].TotalIncrease
 	}
 	b.ReportMetric(100*full, "full-adoption-increase-pct")
+}
+
+// BenchmarkFleetThroughput measures the sharded fleet engine's
+// simulation rate (homes/sec) as the worker pool grows: 1, 4 and
+// NumCPU shards, each shard on its own worker. The merged report is
+// identical at every scale for a fixed (homes, shards, seed) — this
+// benchmark varies shards *with* workers because it measures
+// throughput, not the determinism contract (internal/fleet's golden
+// test pins that).
+func BenchmarkFleetThroughput(b *testing.B) {
+	const homes = 100_000
+	widths := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, n := range widths {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			cfg := fleet.Config{Homes: homes, Days: 1, Shards: n, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Run(cfg, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(homes)*float64(b.N)/b.Elapsed().Seconds(), "homes/s")
+		})
+	}
 }
 
 func BenchmarkMPTCPBaseline(b *testing.B) {

@@ -34,7 +34,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +71,7 @@ func main() {
 	timeScale := fs.Float64("timescale", 60, "emulation acceleration factor (prototype-path experiments)")
 	users := fs.Int("users", 18000, "DSLAM subscriber population")
 	mnoUsers := fs.Int("mno-users", 20000, "MNO subscriber population")
+	asJSON := fs.Bool("json", false, "emit a machine-readable result document instead of tables")
 	fs.Parse(os.Args[2:])
 
 	setup := evalwild.Setup{Seed: *seed, Reps: *reps, TimeScale: *timeScale}
@@ -136,10 +139,78 @@ func main() {
 		}
 	}
 	// Indirect recursion for "sim".
-	if err := run(cmd); err != nil {
+	var err error
+	if *asJSON {
+		err = runJSON(cmd, run)
+	} else {
+		err = run(cmd)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "3golbench:", err)
 		os.Exit(1)
 	}
+}
+
+// jsonMetrics collects named scalar results while an experiment runs
+// under -json; the run* functions report through metric(). nil outside
+// -json runs, so reporting is free on the table path.
+var jsonMetrics map[string]float64
+
+// metric records one machine-readable result value.
+func metric(name string, v float64) {
+	if jsonMetrics != nil {
+		jsonMetrics[name] = v
+	}
+}
+
+// benchResult is the -json document.
+type benchResult struct {
+	Experiment  string             `json:"experiment"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics"`
+	Output      []string           `json:"output"`
+}
+
+// runJSON runs one experiment with its table output captured, then emits
+// a benchResult on the real stdout: the experiment id, wall time, the
+// metrics the experiment reported, and the human tables as lines.
+func runJSON(name string, run func(string) error) error {
+	jsonMetrics = map[string]float64{}
+	r, w, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	lines := make(chan []string)
+	go func() {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		var out []string
+		for sc.Scan() {
+			out = append(out, sc.Text())
+		}
+		lines <- out
+	}()
+
+	real := os.Stdout
+	os.Stdout = w
+	start := time.Now() //3golvet:allow wallclock — reporting real experiment wall time
+	runErr := run(name)
+	wall := time.Since(start) //3golvet:allow wallclock — reporting real experiment wall time
+	w.Close()
+	os.Stdout = real
+	captured := <-lines
+	if runErr != nil {
+		return runErr
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benchResult{
+		Experiment:  name,
+		WallSeconds: wall.Seconds(),
+		Metrics:     jsonMetrics,
+		Output:      captured,
+	})
 }
 
 func usage() {
@@ -160,6 +231,9 @@ func runContext() error {
 	fmt.Printf("  wired/cell downlink ratio   %8.1f× (%.2f orders of magnitude)\n",
 		r.DownRatio, r.OrdersOfMagnitude())
 	fmt.Printf("  wired/cell uplink ratio     %8.1f×\n", r.UpRatio)
+	metric("wired_down_gbps", r.WiredDownGbps)
+	metric("down_ratio", r.DownRatio)
+	metric("up_ratio", r.UpRatio)
 	return nil
 }
 
@@ -408,6 +482,9 @@ func runFig10(mnoUsers int, seed int64) error {
 	fmt.Printf("  anchors: paper has P(≤0.1)=0.40, P(≤0.5)=0.75\n")
 	fmt.Printf("  mean daily leftover: %.1f MB/device (paper: ≈20 MB)\n",
 		traces.MeanDailyLeftoverBytes(users)/traces.MB)
+	metric("p_frac_le_0.1", cdf.At(0.1))
+	metric("p_frac_le_0.5", cdf.At(0.5))
+	metric("mean_daily_leftover_mb", traces.MeanDailyLeftoverBytes(users)/traces.MB)
 	return nil
 }
 
@@ -430,6 +507,8 @@ func runEstimator(mnoUsers int, seed int64) error {
 		marker := ""
 		if cfg.Tau == 5 && cfg.Alpha == 4 {
 			marker = "   ← paper (≈65%, <1 day)"
+			metric("utilised_frac", res.UtilizedFraction)
+			metric("overrun_days_per_month", res.OverrunDaysPerMonth)
 		}
 		fmt.Printf("  %-4d %-4.0f  %6.1f%%     %.2f%s\n",
 			cfg.Tau, cfg.Alpha, 100*res.UtilizedFraction, res.OverrunDaysPerMonth, marker)
@@ -448,6 +527,10 @@ func runFig11a(users int, seed int64) error {
 	fmt.Printf("  fraction with ≥1.2× speedup: %.2f (paper: ≥0.50)\n", 1-cdf.At(1.2))
 	fmt.Printf("  mean onloaded: %.1f MB/user/day (paper: 29.78)\n",
 		tracesim.MeanOnloadedBytesPerUser(outcomes)/traces.MB)
+	metric("speedup_p50", cdf.Quantile(0.5))
+	metric("speedup_p90", cdf.Quantile(0.9))
+	metric("frac_speedup_ge_1.2", 1-cdf.At(1.2))
+	metric("mean_onloaded_mb", tracesim.MeanOnloadedBytesPerUser(outcomes)/traces.MB)
 
 	// Extension: the same analysis over a heterogeneous loop plant (the
 	// paper's uniform 3 Mbps population replaced by dsl rate-reach
@@ -474,6 +557,9 @@ func runFig11b(users int, seed int64) error {
 	fmt.Printf("  backhaul capacity: %.0f Mbps (2 towers × 40)\n", ls.BackhaulMbps)
 	fmt.Printf("  budgeted  peak %8.1f Mbps\n", tracesim.PeakMbps(ls.BudgetedMbps))
 	fmt.Printf("  unlimited peak %8.1f Mbps\n", tracesim.PeakMbps(ls.UnlimitedMbps))
+	metric("backhaul_mbps", ls.BackhaulMbps)
+	metric("budgeted_peak_mbps", tracesim.PeakMbps(ls.BudgetedMbps))
+	metric("unlimited_peak_mbps", tracesim.PeakMbps(ls.UnlimitedMbps))
 	fmt.Printf("  mean onloaded under the first-video rule: %.1f MB/user/day (paper: 29.78)\n",
 		tracesim.MeanOnloadedFirstVideoBytes(tr, tracesim.Config{})/traces.MB)
 	fmt.Println("  hour  budgeted  unlimited")
@@ -493,6 +579,10 @@ func runFig11c(mnoUsers int, seed int64) error {
 	for _, p := range pts {
 		fmt.Printf("  %7.0f%%  %13.1f%%  %17.1f%%\n",
 			p.Fraction*100, p.TotalIncrease*100, p.PeakIncrease*100)
+		if p.Fraction == 1.0 {
+			metric("total_increase_full_adoption", p.TotalIncrease)
+			metric("peak_increase_full_adoption", p.PeakIncrease)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,132 @@
+// Command 3golfleet runs the sharded fleet-simulation engine at city
+// scale and reports the paper's §6 evaluation aggregates — the speedup
+// CDF anchors, backhaul crossings and traffic increases — together with
+// engine throughput (wall time, homes/sec).
+//
+// The run is deterministic in (-homes, -days, -shards, -seed): the
+// -workers flag only sets concurrency and can never change results.
+//
+//	3golfleet -homes 18000 -days 1 -shards 8 -workers 8 -json
+//
+// With -validate it instead reads a -json report from stdin and exits
+// non-zero if it is malformed — the CI smoke gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"threegol/internal/fleet"
+)
+
+// fleetReport is the -json document: the engine's evaluation report plus
+// the run's performance envelope.
+type fleetReport struct {
+	Experiment  string  `json:"experiment"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Seed        int64   `json:"seed"`
+	WallSecs    float64 `json:"wall_seconds"`
+	HomesPerSec float64 `json:"homes_per_sec"`
+	fleet.Report
+}
+
+func main() {
+	var (
+		homes    = flag.Int("homes", 18000, "households to simulate")
+		days     = flag.Int("days", 1, "days of demand per household")
+		shards   = flag.Int("shards", 8, "logical shards (part of the population definition)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent shard simulations (never affects results)")
+		seed     = flag.Int64("seed", 1, "seed deriving every shard's RNG stream")
+		asJSON   = flag.Bool("json", false, "emit the machine-readable report")
+		validate = flag.Bool("validate", false, "validate a -json report read from stdin and exit")
+	)
+	flag.Parse()
+
+	if *validate {
+		if err := validateReport(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: invalid report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("report ok")
+		return
+	}
+
+	cfg := fleet.Config{Homes: *homes, Days: *days, Shards: *shards, Seed: *seed}
+	start := time.Now() //3golvet:allow wallclock — measuring real engine throughput
+	res, err := fleet.Run(cfg, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3golfleet:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start) //3golvet:allow wallclock — measuring real engine throughput
+
+	rep := fleetReport{
+		Experiment:  "fleet",
+		Shards:      *shards,
+		Workers:     *workers,
+		Seed:        *seed,
+		WallSecs:    wall.Seconds(),
+		HomesPerSec: float64(*homes) / wall.Seconds(),
+		Report:      res.Report(),
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printHuman(rep)
+}
+
+func printHuman(rep fleetReport) {
+	fmt.Printf("fleet: %d homes (%d viewers), %d day(s), %d shards on %d workers, seed %d\n",
+		rep.Homes, rep.Viewers, rep.Days, rep.Shards, rep.Workers, rep.Seed)
+	fmt.Printf("  engine     %.2fs wall, %.0f homes/sec\n", rep.WallSecs, rep.HomesPerSec)
+	fmt.Printf("  sessions   %d total, %d boosted, %.2f MB onloaded per home-day\n",
+		rep.Sessions, rep.BoostedSessions, rep.OnloadedMBPerH)
+	fmt.Printf("  speedup    p50 %.2fx  p90 %.2fx  p99 %.2fx  (%.0f%% of homes ≥1.2x)\n",
+		rep.SpeedupP50, rep.SpeedupP90, rep.SpeedupP99, 100*rep.FracSpeedup12)
+	fmt.Printf("  backhaul   %.1f Mbps; budgeted peak %.1f Mbps crosses %d bins, unlimited %.1f Mbps crosses %d\n",
+		rep.BackhaulMbps, rep.BudgetedPeakMbps, rep.BudgetedCrossBins,
+		rep.UnlimitedPeakMbps, rep.UnlimitedCross)
+	fmt.Printf("  3G load    +%.0f%% total, +%.0f%% at the mobile peak hour\n",
+		100*rep.TotalIncrease, 100*rep.PeakIncrease)
+}
+
+// validateReport checks that r holds one 3golfleet -json document with
+// the fields CI depends on, all in range.
+func validateReport(r *os.File) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep fleetReport
+	if err := dec.Decode(&rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Experiment != "fleet":
+		return fmt.Errorf("experiment = %q, want \"fleet\"", rep.Experiment)
+	case rep.Homes <= 0:
+		return fmt.Errorf("homes = %d, want > 0", rep.Homes)
+	case rep.Viewers <= 0 || rep.Viewers > rep.Homes:
+		return fmt.Errorf("viewers = %d outside (0, homes]", rep.Viewers)
+	case rep.Sessions <= 0:
+		return fmt.Errorf("sessions = %d, want > 0", rep.Sessions)
+	case rep.WallSecs <= 0:
+		return fmt.Errorf("wall_seconds = %v, want > 0", rep.WallSecs)
+	case rep.HomesPerSec <= 0:
+		return fmt.Errorf("homes_per_sec = %v, want > 0", rep.HomesPerSec)
+	case rep.SpeedupP50 < 1:
+		return fmt.Errorf("speedup_p50 = %v, want ≥ 1", rep.SpeedupP50)
+	case rep.BackhaulMbps <= 0:
+		return fmt.Errorf("backhaul_mbps = %v, want > 0", rep.BackhaulMbps)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"math"
+
+	"threegol/internal/diurnal"
+)
+
+// BoostModel is the per-line onloading arithmetic of the paper's §6
+// analysis, extracted here so the fleet engine and the tracesim figure
+// adapters compute byte-for-byte the same speedups: during a boost the
+// download runs at DSL+3G with the 3G share metered against a budget;
+// once the budget runs dry the remainder goes over DSL alone.
+type BoostModel struct {
+	// DSLBits is the line's downlink sync rate in bits/s.
+	DSLBits float64
+	// G3Bits is the household's aggregate 3G rate in bits/s.
+	G3Bits float64
+	// MinBoostBytes is the smallest transfer worth boosting (paper:
+	// 750 KB, anything needing >2 s on DSL).
+	MinBoostBytes float64
+}
+
+// Share returns the fraction of bytes the 3G paths carry for a
+// simultaneous finish of both legs.
+func (m BoostModel) Share() float64 {
+	return m.G3Bits / (m.DSLBits + m.G3Bits)
+}
+
+// Boost is the outcome of one transfer under the model.
+type Boost struct {
+	// DSLSeconds is the transfer's latency over DSL alone.
+	DSLSeconds float64
+	// BoostSeconds is the latency with budgeted onloading (equals
+	// DSLSeconds when nothing was onloaded).
+	BoostSeconds float64
+	// OnloadedBytes is the volume metered against the budget.
+	OnloadedBytes float64
+}
+
+// Apply runs one transfer of sizeBytes against the remaining budget.
+// Ideal onloading for simultaneous finish carries Share() of the bytes;
+// the budget may cap it, in which case the DSL leg carries the rest and
+// the transfer ends when the slower leg finishes.
+func (m BoostModel) Apply(sizeBytes, budget float64) Boost {
+	dslTime := sizeBytes * 8 / m.DSLBits
+	if sizeBytes < m.MinBoostBytes || budget <= 0 {
+		return Boost{DSLSeconds: dslTime, BoostSeconds: dslTime}
+	}
+	onload := math.Min(sizeBytes*m.Share(), budget)
+	boosted := math.Max((sizeBytes-onload)*8/m.DSLBits, onload*8/m.G3Bits)
+	return Boost{DSLSeconds: dslTime, BoostSeconds: boosted, OnloadedBytes: onload}
+}
+
+// LoadBins accumulates transfer bytes into fixed-width time bins over a
+// 24-hour day — the raw series behind Fig. 11(b) and the fleet's load
+// aggregates. The cell carries onloaded bytes while the download runs,
+// not at the instant of the request, so Spread distributes them
+// uniformly over the transfer's duration. Multi-day simulations fold
+// every day onto the same 24-hour axis by passing day-local start times.
+type LoadBins struct {
+	BinSeconds float64
+	// Bytes holds the accumulated volume per bin.
+	Bytes []float64
+}
+
+// NewLoadBins creates a day-long accumulator with the given bin width
+// (≤ 0 selects the paper's 5-minute bins).
+func NewLoadBins(binSeconds float64) *LoadBins {
+	if binSeconds <= 0 {
+		binSeconds = 300
+	}
+	nbins := int(math.Ceil(24 * 3600 / binSeconds))
+	return &LoadBins{BinSeconds: binSeconds, Bytes: make([]float64, nbins)}
+}
+
+// Spread adds `bytes` uniformly over [start, start+dur) seconds of the
+// day. A non-positive duration spreads over one bin; time beyond the end
+// of the day clamps into the final bin so no volume is lost.
+func (l *LoadBins) Spread(start, dur, bytes float64) {
+	if dur <= 0 {
+		dur = l.BinSeconds
+	}
+	nbins := len(l.Bytes)
+	rate := bytes / dur // bytes per second
+	for t := start; t < start+dur; {
+		bin := int(t / l.BinSeconds)
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		binEnd := math.Min(float64(bin+1)*l.BinSeconds, start+dur)
+		if binEnd <= t {
+			// Past the end of the day: the final bin absorbs the rest.
+			l.Bytes[bin] += rate * (start + dur - t)
+			break
+		}
+		l.Bytes[bin] += rate * (binEnd - t)
+		t = binEnd
+	}
+}
+
+// Merge folds o into l bin by bin. Mismatched bin widths panic: merging
+// differently-binned series is a programmer error.
+func (l *LoadBins) Merge(o *LoadBins) {
+	if o == nil {
+		return
+	}
+	if l.BinSeconds != o.BinSeconds || len(l.Bytes) != len(o.Bytes) {
+		panic("fleet: merging LoadBins with different bin layouts")
+	}
+	for i, b := range o.Bytes {
+		l.Bytes[i] += b
+	}
+}
+
+// Mbps converts the accumulated per-bin bytes into an average-rate
+// series in Mbps, dividing by `days` so multi-day folds report a
+// per-day profile (days ≤ 0 selects 1).
+func (l *LoadBins) Mbps(days int) []float64 {
+	if days <= 0 {
+		days = 1
+	}
+	out := make([]float64, len(l.Bytes))
+	for i, b := range l.Bytes {
+		out[i] = b * 8 / l.BinSeconds / 1e6 / float64(days)
+	}
+	return out
+}
+
+// Peak returns the maximum of a series.
+func Peak(series []float64) float64 {
+	var peak float64
+	for _, v := range series {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// HourlyMass converts a diurnal profile into a 24-slot distribution
+// summing to 1 — the shape used to spread daily volumes over the day in
+// the Fig. 11(c) adoption analysis and the fleet's peak-increase
+// aggregate.
+func HourlyMass(p diurnal.Profile) [24]float64 {
+	var mass [24]float64
+	var total float64
+	for h := 0; h < 24; h++ {
+		mass[h] = p.At(float64(h))
+		total += mass[h]
+	}
+	if total > 0 {
+		for h := range mass {
+			mass[h] /= total
+		}
+	}
+	return mass
+}

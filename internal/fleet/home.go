@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"threegol/internal/diurnal"
+	"threegol/internal/simclock"
+	"threegol/internal/stats"
+	"threegol/internal/traces"
+)
+
+// home is one household: the DSL line, the phones' pooled daily
+// onloading budget, and the day-scoped boost state.
+type home struct {
+	id     int
+	viewer bool
+	model  BoostModel
+	// dailyBudget is the household's pooled allowance in bytes/day.
+	dailyBudget float64
+	// baseMobileDaily is the phones' own cellular demand in bytes/day
+	// (cap × used fraction / 30) — the base the fleet's traffic-increase
+	// aggregates are relative to.
+	baseMobileDaily float64
+
+	// Day-scoped state, reset at each midnight.
+	remaining float64
+	dslSec    float64
+	boostSec  float64
+	sessions  int
+}
+
+// genHome draws one household from the shard's RNG stream. The draw
+// order (line, viewer flag, one MNO history per device) is part of the
+// engine's determinism contract: it must not depend on anything outside
+// (cfg, id, rng state).
+func genHome(sc Scenario, id int, rng *rand.Rand) *home {
+	line := sc.Plant.Sample(1, rng)[0]
+	down, _ := line.SyncRates()
+	if down < 256e3 {
+		down = 256e3 // a line below this would not carry video at all
+	}
+	h := &home{
+		id:     id,
+		viewer: rng.Float64() < sc.ViewerFrac,
+		model: BoostModel{
+			DSLBits:       down,
+			G3Bits:        float64(sc.Devices) * sc.PhoneBits,
+			MinBoostBytes: sc.MinBoostBytes,
+		},
+	}
+	for d := 0; d < sc.Devices; d++ {
+		u := traces.SampleMNOUser(rng, id*sc.Devices+d, sc.HistoryMonths, 0)
+		h.baseMobileDaily += u.CapBytes * u.UsedFrac / 30
+		if sc.FixedDailyBudgetBytes > 0 {
+			h.dailyBudget += sc.FixedDailyBudgetBytes
+		} else {
+			h.dailyBudget += sc.Estimator.DailyAllowance(u.FreeSeries())
+		}
+	}
+	return h
+}
+
+// daySeconds is the fold period of the load series.
+const daySeconds = 24 * 3600
+
+// simulateShard runs one shard start to finish on its own virtual clock
+// and private RNG stream. It is called concurrently for different
+// shards but touches no shared state: everything it reads is the
+// (value-copied) config and everything it writes is the returned
+// accumulator.
+func simulateShard(cfg Config, sh Shard) *Result {
+	rng := newShardRNG(sh)
+	clk := simclock.New()
+	sc := cfg.Scenario
+	sizeDist := stats.LogNormalFromMoments(sc.MeanVideoBytes, sc.MeanVideoBytes*0.9)
+
+	res := newResult(cfg)
+	homes := make([]*home, sh.Homes)
+	for i := range homes {
+		homes[i] = genHome(sc, sh.First+i, rng)
+		res.observeHome(homes[i], cfg.Days)
+	}
+
+	for day := 0; day < cfg.Days; day++ {
+		dayStart := float64(day) * daySeconds
+		for _, h := range homes {
+			h.remaining = h.dailyBudget
+			h.dslSec, h.boostSec, h.sessions = 0, 0, 0
+			if !h.viewer {
+				continue
+			}
+			n := traces.SampleVideosPerDay(rng)
+			for v := 0; v < n; v++ {
+				at := dayStart + traces.SampleHour(rng, diurnal.Wired)*3600
+				size := sizeDist.Sample(rng)
+				h := h
+				clk.Schedule(at, func() {
+					res.session(h, clk.Now()-dayStart, size)
+				})
+			}
+		}
+		// Events run in (time, schedule-order) sequence — the same
+		// cross-home interleaving a city-wide trace replay would see.
+		clk.RunUntil(dayStart + daySeconds)
+		for _, h := range homes {
+			if h.sessions > 0 {
+				res.Speedups.Add(h.dslSec / h.boostSec)
+			}
+		}
+	}
+	return res
+}

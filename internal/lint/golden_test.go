@@ -24,6 +24,7 @@ var goldenFixtures = []struct {
 	{name: "locks"},
 	{name: "droppederr", deps: []string{"errpkg"}},
 	{name: "clean"},
+	{name: "fleetrng"},
 }
 
 func TestGolden(t *testing.T) {

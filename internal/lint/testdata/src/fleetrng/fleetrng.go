@@ -1,0 +1,38 @@
+// Fixture: the fleet engine's per-shard RNG discipline. The package
+// clause says fleet, which is on the SimPackages list: wall-clock reads
+// are banned, and randomness must come from injected *rand.Rand streams.
+// The sanctioned stream construction rand.New(rand.NewSource(seed ^
+// shardID)) passes; drawing from the global math/rand source does not.
+package fleet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// shardRNG is the engine's sanctioned per-shard stream derivation:
+// constructors are pure and feed an injected generator, so randsource
+// accepts them.
+func shardRNG(seed int64, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(shard)))
+}
+
+func simulateOK(seed int64, shard int) float64 {
+	rng := shardRNG(seed, shard)
+	return rng.Float64() + rng.NormFloat64()
+}
+
+// badGlobalDraw leaks shared-source nondeterminism across shards.
+func badGlobalDraw() float64 {
+	return rand.Float64()
+}
+
+// badShuffle too — every top-level math/rand draw shares one source.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// badWallclock: fleet is a simulation package; virtual time only.
+func badWallclock() time.Time {
+	return time.Now()
+}

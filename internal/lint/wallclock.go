@@ -17,6 +17,7 @@ var SimPackages = map[string]bool{
 	"evalwild":  true,
 	"core":      true,
 	"hls":       true,
+	"fleet":     true,
 }
 
 // Wallclock flags direct wall-clock reads and sleeps. Simulation packages

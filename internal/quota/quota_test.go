@@ -218,3 +218,87 @@ func TestPaperOperatingPointUtilisation(t *testing.T) {
 		t.Errorf("overrun days/month = %v, want <1 (paper's finding)", res.OverrunDaysPerMonth)
 	}
 }
+
+// --- edge cases around the history boundary ---
+
+func TestAllowanceExactlyAtTauBoundary(t *testing.T) {
+	e := Estimator{Tau: 5, Alpha: 4}
+	flat := []float64{600, 600, 600, 600, 600}
+	// τ−1 months: conservative zero, no onloading yet.
+	if got := e.MonthlyAllowance(flat[:4]); got != 0 {
+		t.Errorf("allowance with τ−1 months = %v, want 0", got)
+	}
+	// Exactly τ months: the formula engages (sd=0, so allowance = mean).
+	if got := e.MonthlyAllowance(flat); got != 600 {
+		t.Errorf("allowance with exactly τ months = %v, want 600", got)
+	}
+	if got := e.DailyAllowance(flat[:4]); got != 0 {
+		t.Errorf("daily allowance with τ−1 months = %v, want 0", got)
+	}
+}
+
+func TestAllowanceEmptyAndNilHistory(t *testing.T) {
+	e := Estimator{}
+	if got := e.MonthlyAllowance(nil); got != 0 {
+		t.Errorf("allowance with nil history = %v, want 0", got)
+	}
+	if got := e.MonthlyAllowance([]float64{}); got != 0 {
+		t.Errorf("allowance with empty history = %v, want 0", got)
+	}
+}
+
+// A zero-usage user's free capacity equals the cap every month: the
+// estimator grants the whole cap (sd=0 ⇒ no guard deduction) and the
+// daily budget is cap/30 — the allowance can never exceed the cap
+// boundary itself.
+func TestZeroUsageUserGetsWholeCapAndNoMore(t *testing.T) {
+	const cap = 500 * 1024 * 1024
+	hist := make([]float64, 12)
+	for i := range hist {
+		hist[i] = cap
+	}
+	e := Estimator{Tau: 5, Alpha: 4}
+	if got := e.MonthlyAllowance(hist); got != cap {
+		t.Errorf("zero-usage monthly allowance = %v, want the %v cap", got, float64(cap))
+	}
+	if got := e.DailyAllowance(hist); math.Abs(got-cap/30.0) > 1e-6 {
+		t.Errorf("zero-usage daily allowance = %v, want cap/30 = %v", got, cap/30.0)
+	}
+}
+
+// Months where usage exceeded the cap surface as zero free capacity, not
+// negative: the allowance clamps at the cap boundary from below too.
+func TestAllowanceWithOverCapMonths(t *testing.T) {
+	e := Estimator{Tau: 3, Alpha: 1}
+	// Two exhausted months drag the mean below α·σ̄ — clamps to 0.
+	if got := e.MonthlyAllowance([]float64{0, 0, 300}); got != 0 {
+		t.Errorf("allowance after exhausted months = %v, want 0", got)
+	}
+	// All-exhausted history: nothing to grant.
+	if got := e.MonthlyAllowance([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("allowance with no free capacity ever = %v, want 0", got)
+	}
+}
+
+// The tracker at exact exhaustion: using precisely the allowance flips
+// the advertisement gate off, with no wrap-around below zero.
+func TestTrackerExactExhaustionBoundary(t *testing.T) {
+	tr := NewTracker(1000)
+	tr.Use(999)
+	if !tr.ShouldAdvertise() {
+		t.Error("1 byte left: should still advertise")
+	}
+	tr.Use(1)
+	if tr.Available() != 0 || tr.ShouldAdvertise() {
+		t.Errorf("exact exhaustion: available = %d, advertise = %v, want 0/false",
+			tr.Available(), tr.ShouldAdvertise())
+	}
+	tr.Use(1) // past the boundary: still floored at 0
+	if tr.Available() != 0 {
+		t.Errorf("over-use available = %d, want 0", tr.Available())
+	}
+	tr.StartNewDay(1000)
+	if tr.Available() != 1000 || tr.Used() != 0 {
+		t.Errorf("rollover: available = %d used = %d, want 1000/0", tr.Available(), tr.Used())
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSketchMatchesECDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	sk := NewSketch(0, 10, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		sk.Add(xs[i])
+	}
+	ecdf := NewECDF(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, want := sk.Quantile(q), ecdf.Quantile(q)
+		if math.Abs(got-want) > 0.05 { // a few bin widths of slack
+			t.Errorf("Quantile(%v) = %v, ECDF says %v", q, got, want)
+		}
+	}
+	for _, x := range []float64{1, 2.5, 5, 9} {
+		got, want := sk.At(x), ecdf.At(x)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("At(%v) = %v, ECDF says %v", x, got, want)
+		}
+	}
+}
+
+// The property the fleet engine depends on: partitioning a sample into
+// shards and merging the per-shard sketches in any grouping yields a
+// sketch bit-identical to adding every observation to one sketch.
+func TestSketchMergePartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 5
+	}
+	whole := NewSketch(0, 10, 500)
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	parts := make([]*Sketch, 7)
+	for i := range parts {
+		parts[i] = NewSketch(0, 10, 500)
+	}
+	for i, x := range xs {
+		parts[i%len(parts)].Add(x)
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		merged.Merge(p)
+	}
+	if !reflect.DeepEqual(whole.Counts, merged.Counts) {
+		t.Error("merged counts differ from single-sketch counts")
+	}
+	if whole.N != merged.N || whole.Min != merged.Min || whole.Max != merged.Max {
+		t.Errorf("merged summary (n=%d min=%v max=%v) != whole (n=%d min=%v max=%v)",
+			merged.N, merged.Min, merged.Max, whole.N, whole.Min, whole.Max)
+	}
+	if math.Abs(whole.Sum-merged.Sum) > 1e-6 {
+		t.Errorf("merged sum %v != whole %v", merged.Sum, whole.Sum)
+	}
+}
+
+func TestSketchClampsOutOfRange(t *testing.T) {
+	s := NewSketch(0, 1, 10)
+	s.Add(-5)
+	s.Add(42)
+	if s.Counts[0] != 1 || s.Counts[9] != 1 {
+		t.Errorf("out-of-range observations not clamped: %v", s.Counts)
+	}
+	if s.Min != -5 || s.Max != 42 {
+		t.Errorf("exact min/max lost: %v/%v", s.Min, s.Max)
+	}
+	if s.Quantile(0) != -5 || s.Quantile(1) != 42 {
+		t.Errorf("extreme quantiles not clamped to observed range: %v/%v",
+			s.Quantile(0), s.Quantile(1))
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewSketch(0, 1, 4)
+	if s.Quantile(0.5) != 0 || s.At(0.5) != 0 || s.Mean() != 0 || s.Count() != 0 {
+		t.Error("empty sketch should report zeros")
+	}
+}
+
+func TestSketchMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging incompatible sketches should panic")
+		}
+	}()
+	NewSketch(0, 1, 4).Merge(NewSketch(0, 2, 4))
+}
+
+func TestSketchInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid sketch config should panic")
+		}
+	}()
+	NewSketch(1, 1, 10)
+}

@@ -124,33 +124,41 @@ func sampleCap(rng *rand.Rand, rank float64) float64 {
 	return planCaps[len(planCaps)-1].Bytes
 }
 
-// GenerateMNO synthesises the MNO population.
-func GenerateMNO(cfg MNOConfig, seed int64) []MNOUser {
-	rng := rand.New(rand.NewSource(seed))
-	months := cfg.Months
+// SampleMNOUser draws one cellular subscriber: plan cap (rank-correlated
+// with usage), cap-usage fraction from the Fig. 10 anchored CDF, and
+// `months` of wobbling monthly usage history. months ≤ 0 selects 18 and
+// wobble ≤ 0 selects 0.35, matching GenerateMNO's defaults. Exported so
+// the fleet engine can populate per-shard device histories from its own
+// RNG stream without materialising a whole MNO population.
+func SampleMNOUser(rng *rand.Rand, id, months int, wobble float64) MNOUser {
 	if months <= 0 {
 		months = 18
 	}
-	wobble := cfg.MonthlyWobbleStd
 	if wobble <= 0 {
 		wobble = 0.35
 	}
+	rank := rng.Float64()
+	capB := sampleCap(rng, rank)
+	frac := sampleUsedFrac(rank)
+	base := capB * frac
+	usage := make([]float64, months)
+	for m := range usage {
+		w := stats.TruncNormal{Mean: 1, Std: wobble, Lo: 0.5, Hi: 1.6}.Sample(rng)
+		u := base * w
+		if u > capB {
+			u = capB
+		}
+		usage[m] = u
+	}
+	return MNOUser{ID: id, CapBytes: capB, UsedFrac: frac, MonthlyUsage: usage}
+}
+
+// GenerateMNO synthesises the MNO population.
+func GenerateMNO(cfg MNOConfig, seed int64) []MNOUser {
+	rng := rand.New(rand.NewSource(seed))
 	users := make([]MNOUser, cfg.Users)
 	for i := range users {
-		rank := rng.Float64()
-		capB := sampleCap(rng, rank)
-		frac := sampleUsedFrac(rank)
-		base := capB * frac
-		usage := make([]float64, months)
-		for m := range usage {
-			w := stats.TruncNormal{Mean: 1, Std: wobble, Lo: 0.5, Hi: 1.6}.Sample(rng)
-			u := base * w
-			if u > capB {
-				u = capB
-			}
-			usage[m] = u
-		}
-		users[i] = MNOUser{ID: i, CapBytes: capB, UsedFrac: frac, MonthlyUsage: usage}
+		users[i] = SampleMNOUser(rng, i, cfg.Months, cfg.MonthlyWobbleStd)
 	}
 	return users
 }
@@ -209,10 +217,11 @@ type DSLAMConfig struct {
 	ADSLBits float64
 }
 
-// videosPerDay matches the paper's viewer activity: lognormal with
+// SampleVideosPerDay matches the paper's viewer activity: lognormal with
 // median 6 and mean 14.12 — which implies σ² = 2·ln(14.12/6) and std
-// ≈ 30.1, matching all three published moments at once.
-func videosPerDay(rng *rand.Rand) int {
+// ≈ 30.1, matching all three published moments at once. Exported for the
+// fleet engine's per-shard demand generation.
+func SampleVideosPerDay(rng *rand.Rand) int {
 	const median = 6.0
 	const mean = 14.12
 	sigma := math.Sqrt(2 * math.Log(mean/median))
@@ -223,9 +232,9 @@ func videosPerDay(rng *rand.Rand) int {
 	return n
 }
 
-// sampleHour draws an hour-of-day from the wired diurnal profile by
-// rejection sampling (peak normalised to 1).
-func sampleHour(rng *rand.Rand, p diurnal.Profile) float64 {
+// SampleHour draws an hour-of-day from a diurnal profile by rejection
+// sampling (peak normalised to 1).
+func SampleHour(rng *rand.Rand, p diurnal.Profile) float64 {
 	for {
 		h := rng.Float64() * 24
 		if rng.Float64() <= p.At(h) {
@@ -260,11 +269,11 @@ func GenerateDSLAM(cfg DSLAMConfig, seed int64) *DSLAMTrace {
 		if rng.Float64() >= viewerFrac {
 			continue
 		}
-		n := videosPerDay(rng)
+		n := SampleVideosPerDay(rng)
 		for v := 0; v < n; v++ {
 			tr.Sessions = append(tr.Sessions, VideoSession{
 				UserID:    u,
-				Time:      sampleHour(rng, diurnal.Wired) * 3600,
+				Time:      SampleHour(rng, diurnal.Wired) * 3600,
 				SizeBytes: sizeDist.Sample(rng),
 			})
 		}

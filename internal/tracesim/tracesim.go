@@ -13,6 +13,7 @@ import (
 
 	"threegol/internal/diurnal"
 	"threegol/internal/dsl"
+	"threegol/internal/fleet"
 	"threegol/internal/stats"
 	"threegol/internal/traces"
 )
@@ -65,6 +66,17 @@ func (c Config) threeGBits() float64 {
 	return float64(c.Devices) * c.PhoneBits
 }
 
+// model builds the fleet boost model for a line running at dslBits —
+// the single home of the shared per-transfer arithmetic (see
+// fleet.BoostModel).
+func (c Config) model(dslBits float64) fleet.BoostModel {
+	return fleet.BoostModel{
+		DSLBits:       dslBits,
+		G3Bits:        c.threeGBits(),
+		MinBoostBytes: c.MinBoostBytes,
+	}
+}
+
 // UserOutcome is one subscriber's day under 3GOL with budgets.
 type UserOutcome struct {
 	UserID        int
@@ -80,42 +92,37 @@ type UserOutcome struct {
 // boosted with whatever daily budget remains. During a boost the
 // download runs at DSL+3G with the 3G share metered against the budget;
 // once the budget runs dry the remainder goes over DSL alone. The
-// returned outcomes feed the speedup CDF of Fig. 11(a).
+// returned outcomes feed the speedup CDF of Fig. 11(a). The arithmetic
+// is fleet.BoostModel's — this is a thin adapter binding it to a DSLAM
+// trace with one uniform line rate.
 func Fig11a(tr *traces.DSLAMTrace, cfg Config) []UserOutcome {
 	cfg = cfg.withDefaults()
-	dsl := cfg.DSLBits
-	g3 := cfg.threeGBits()
-	shareg3 := g3 / (dsl + g3) // fraction of bytes the 3G paths carry
+	model := cfg.model(cfg.DSLBits)
 
 	var outcomes []UserOutcome
 	for userID, sessions := range tr.SessionsByUser() {
-		out := UserOutcome{UserID: userID, Videos: len(sessions)}
-		budget := cfg.budget()
-		for _, s := range sessions {
-			dslTime := s.SizeBytes * 8 / dsl
-			out.DSLSeconds += dslTime
-			if s.SizeBytes < cfg.MinBoostBytes || budget <= 0 {
-				out.BoostSeconds += dslTime
-				continue
-			}
-			// Ideal onload for simultaneous finish carries shareg3 of
-			// the bytes; the budget may cap it.
-			onload := math.Min(s.SizeBytes*shareg3, budget)
-			budget -= onload
-			out.OnloadedBytes += onload
-			// With b bytes onloaded, the DSL leg carries the rest; the
-			// transfer ends when the slower leg finishes.
-			boosted := math.Max((s.SizeBytes-onload)*8/dsl, onload*8/g3)
-			out.BoostSeconds += boosted
-		}
-		if out.BoostSeconds > 0 {
-			out.Speedup = out.DSLSeconds / out.BoostSeconds
-		} else {
-			out.Speedup = 1
-		}
-		outcomes = append(outcomes, out)
+		outcomes = append(outcomes, userDay(userID, sessions, model, cfg.budget()))
 	}
 	return outcomes
+}
+
+// userDay folds one subscriber's sessions through the boost model with a
+// shared daily budget.
+func userDay(userID int, sessions []traces.VideoSession, model fleet.BoostModel, budget float64) UserOutcome {
+	out := UserOutcome{UserID: userID, Videos: len(sessions)}
+	for _, s := range sessions {
+		b := model.Apply(s.SizeBytes, budget)
+		budget -= b.OnloadedBytes
+		out.DSLSeconds += b.DSLSeconds
+		out.BoostSeconds += b.BoostSeconds
+		out.OnloadedBytes += b.OnloadedBytes
+	}
+	if out.BoostSeconds > 0 {
+		out.Speedup = out.DSLSeconds / out.BoostSeconds
+	} else {
+		out.Speedup = 1
+	}
+	return out
 }
 
 // SpeedupCDF builds the Fig. 11(a) CDF over per-user speedups.
@@ -147,38 +154,10 @@ type LoadSeries struct {
 // the request.
 func Fig11b(tr *traces.DSLAMTrace, cfg Config, binSeconds float64) LoadSeries {
 	cfg = cfg.withDefaults()
-	if binSeconds <= 0 {
-		binSeconds = 300
-	}
-	nbins := int(math.Ceil(24 * 3600 / binSeconds))
-	out := LoadSeries{
-		BinSeconds:    binSeconds,
-		BudgetedMbps:  make([]float64, nbins),
-		UnlimitedMbps: make([]float64, nbins),
-		BackhaulMbps:  2 * 40,
-	}
+	budgeted := fleet.NewLoadBins(binSeconds)
+	unlimited := fleet.NewLoadBins(binSeconds)
 	dsl, g3 := cfg.DSLBits, cfg.threeGBits()
 	shareg3 := g3 / (dsl + g3)
-
-	// spread adds `bytes` uniformly over [start, start+dur) seconds.
-	spread := func(series []float64, start, dur, bytes float64) {
-		if dur <= 0 {
-			dur = binSeconds
-		}
-		rate := bytes / dur // bytes per second
-		for t := start; t < start+dur; {
-			bin := int(t / binSeconds)
-			if bin >= nbins {
-				bin = nbins - 1
-			}
-			binEnd := math.Min(float64(bin+1)*binSeconds, start+dur)
-			series[bin] += rate * (binEnd - t)
-			if binEnd <= t {
-				break
-			}
-			t = binEnd
-		}
-	}
 
 	boosted := make(map[int]bool) // users whose first video was boosted
 	for _, s := range tr.Sessions {
@@ -187,7 +166,7 @@ func Fig11b(tr *traces.DSLAMTrace, cfg Config, binSeconds float64) LoadSeries {
 		}
 		ideal := s.SizeBytes * shareg3
 		// Unlimited: everything boosted; transfer runs at dsl+3G.
-		spread(out.UnlimitedMbps, s.Time, s.SizeBytes*8/(dsl+g3), ideal)
+		unlimited.Spread(s.Time, s.SizeBytes*8/(dsl+g3), ideal)
 
 		// Budgeted: only the user's first boostable video, capped by the
 		// daily budget.
@@ -197,14 +176,14 @@ func Fig11b(tr *traces.DSLAMTrace, cfg Config, binSeconds float64) LoadSeries {
 		boosted[s.UserID] = true
 		onload := math.Min(ideal, cfg.budget())
 		dur := math.Max((s.SizeBytes-onload)*8/dsl, onload*8/g3)
-		spread(out.BudgetedMbps, s.Time, dur, onload)
+		budgeted.Spread(s.Time, dur, onload)
 	}
-	// Convert bytes/bin to Mbps.
-	for i := range out.BudgetedMbps {
-		out.BudgetedMbps[i] = out.BudgetedMbps[i] * 8 / binSeconds / 1e6
-		out.UnlimitedMbps[i] = out.UnlimitedMbps[i] * 8 / binSeconds / 1e6
+	return LoadSeries{
+		BinSeconds:    budgeted.BinSeconds,
+		BudgetedMbps:  budgeted.Mbps(1),
+		UnlimitedMbps: unlimited.Mbps(1),
+		BackhaulMbps:  2 * 40,
 	}
-	return out
 }
 
 // MeanOnloadedFirstVideoBytes reports the average bytes per user the
@@ -235,13 +214,7 @@ func MeanOnloadedFirstVideoBytes(tr *traces.DSLAMTrace, cfg Config) float64 {
 
 // PeakMbps returns the maximum of a series.
 func PeakMbps(series []float64) float64 {
-	var peak float64
-	for _, v := range series {
-		if v > peak {
-			peak = v
-		}
-	}
-	return peak
+	return fleet.Peak(series)
 }
 
 // MeanOnloadedBytesPerUser reports the average bytes a user onloads per
@@ -278,8 +251,8 @@ func Fig11c(users []traces.MNOUser, fractions []float64, perUserDaily float64) [
 		baseDaily += u.CapBytes * u.UsedFrac / 30
 	}
 	// Hourly shapes normalised to unit mass.
-	baseShape := hourlyMass(diurnal.Mobile)
-	onloadShape := hourlyMass(diurnal.Wired)
+	baseShape := fleet.HourlyMass(diurnal.Mobile)
+	onloadShape := fleet.HourlyMass(diurnal.Wired)
 	peakHour := diurnal.Mobile.PeakHour()
 
 	var out []AdoptionPoint
@@ -295,22 +268,6 @@ func Fig11c(users []traces.MNOUser, fractions []float64, perUserDaily float64) [
 		out = append(out, pt)
 	}
 	return out
-}
-
-// hourlyMass converts a profile into a 24-slot distribution summing to 1.
-func hourlyMass(p diurnal.Profile) [24]float64 {
-	var mass [24]float64
-	var total float64
-	for h := 0; h < 24; h++ {
-		mass[h] = p.At(float64(h))
-		total += mass[h]
-	}
-	if total > 0 {
-		for h := range mass {
-			mass[h] /= total
-		}
-	}
-	return mass
 }
 
 // Fig10 builds the cap-usage CDF from an MNO population.
@@ -351,7 +308,6 @@ func AssignLineRates(tr *traces.DSLAMTrace, pop dsl.Population, seed int64) map[
 // rates; absent users fall back to it).
 func Fig11aHeterogeneous(tr *traces.DSLAMTrace, rates map[int]float64, cfg Config) []UserOutcome {
 	cfg = cfg.withDefaults()
-	g3 := cfg.threeGBits()
 
 	var outcomes []UserOutcome
 	for userID, sessions := range tr.SessionsByUser() {
@@ -359,27 +315,7 @@ func Fig11aHeterogeneous(tr *traces.DSLAMTrace, rates map[int]float64, cfg Confi
 		if r, ok := rates[userID]; ok && r > 0 {
 			dslRate = r
 		}
-		shareg3 := g3 / (dslRate + g3)
-		out := UserOutcome{UserID: userID, Videos: len(sessions)}
-		budget := cfg.budget()
-		for _, s := range sessions {
-			dslTime := s.SizeBytes * 8 / dslRate
-			out.DSLSeconds += dslTime
-			if s.SizeBytes < cfg.MinBoostBytes || budget <= 0 {
-				out.BoostSeconds += dslTime
-				continue
-			}
-			onload := math.Min(s.SizeBytes*shareg3, budget)
-			budget -= onload
-			out.OnloadedBytes += onload
-			out.BoostSeconds += math.Max((s.SizeBytes-onload)*8/dslRate, onload*8/g3)
-		}
-		if out.BoostSeconds > 0 {
-			out.Speedup = out.DSLSeconds / out.BoostSeconds
-		} else {
-			out.Speedup = 1
-		}
-		outcomes = append(outcomes, out)
+		outcomes = append(outcomes, userDay(userID, sessions, cfg.model(dslRate), cfg.budget()))
 	}
 	return outcomes
 }

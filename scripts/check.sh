@@ -7,6 +7,8 @@
 #   3. go build    — everything compiles
 #   4. 3golvet     — repo-specific determinism/concurrency analyzers
 #   5. go test -race — full suite under the race detector
+#   6. fleet smoke — 3golfleet city-scale engine run inside a time
+#      budget, with its -json report validated for shape
 #
 # Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
 set -eu
@@ -37,5 +39,15 @@ echo '==> go test -race ./...'
 # race detector (see the race_test.go files), which lengthens wall time;
 # give the slowest package headroom beyond the default 10m.
 go test -race -timeout 20m ./...
+
+echo '==> fleet smoke (3golfleet -json inside a time budget)'
+# A small city-scale run must finish inside the time budget (a hang or
+# quadratic regression in the engine trips the timeout) and must emit a
+# report that -validate accepts (malformed JSON or out-of-range metrics
+# fail the gate).
+smoke=$(mktemp)
+trap 'rm -f "$smoke"' EXIT
+timeout 180 go run ./cmd/3golfleet -homes 2000 -days 1 -shards 4 -json > "$smoke"
+go run ./cmd/3golfleet -validate < "$smoke"
 
 echo 'check.sh: all stages passed'
