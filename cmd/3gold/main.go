@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"threegol/internal/discovery"
+	"threegol/internal/obs"
 	"threegol/internal/permit"
 	"threegol/internal/proxy"
 	"threegol/internal/quota"
@@ -39,10 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
-	srv := &proxy.Server{Dial: dialer(*iface3g)}
+	reg := obs.NewRegistry()
+	srv := &proxy.Server{Dial: dialer(*iface3g), Metrics: proxy.NewMetrics(reg)}
 	if *verbosity {
 		srv.Logf = log.Printf
 	}
+	debugMux := http.NewServeMux()
+	debugMux.Handle("/debug/metrics", obs.Handler(reg))
+	srv.Debug = debugMux
 
 	var tracker *quota.Tracker
 	if *quotaMB > 0 {
@@ -51,7 +57,8 @@ func main() {
 	}
 	var permits *permit.Client
 	if *backend != "" {
-		permits = &permit.Client{BackendURL: *backend, Device: *name, Cell: *cell}
+		permits = &permit.Client{BackendURL: *backend, Device: *name, Cell: *cell,
+			Metrics: permit.NewMetrics(reg)}
 	}
 	srv.Admit = func() bool {
 		if permits != nil && !permits.Allowed() {
@@ -68,7 +75,7 @@ func main() {
 		log.Fatalf("3gold: starting proxy: %v", err)
 	}
 	defer shutdown()
-	log.Printf("3gold: %s proxying on %s", *name, addr)
+	log.Printf("3gold: %s proxying on %s (metrics at http://%s/debug/metrics)", *name, addr, addr)
 
 	if *disco != "" {
 		beacon := &discovery.Beacon{

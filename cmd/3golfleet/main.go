@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +34,9 @@ type fleetReport struct {
 	WallSecs    float64 `json:"wall_seconds"`
 	HomesPerSec float64 `json:"homes_per_sec"`
 	fleet.Report
+	// Metrics is the merged obs registry dump (-metrics); unlike the
+	// wall-time fields it is bit-identical across worker counts.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -43,6 +47,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent shard simulations (never affects results)")
 		seed     = flag.Int64("seed", 1, "seed deriving every shard's RNG stream")
 		asJSON   = flag.Bool("json", false, "emit the machine-readable report")
+		metrics  = flag.Bool("metrics", false, "run with obs instrumentation and dump the merged registry")
 		validate = flag.Bool("validate", false, "validate a -json report read from stdin and exit")
 	)
 	flag.Parse()
@@ -56,7 +61,7 @@ func main() {
 		return
 	}
 
-	cfg := fleet.Config{Homes: *homes, Days: *days, Shards: *shards, Seed: *seed}
+	cfg := fleet.Config{Homes: *homes, Days: *days, Shards: *shards, Seed: *seed, Metrics: *metrics}
 	start := time.Now() //3golvet:allow wallclock — measuring real engine throughput
 	res, err := fleet.Run(cfg, *workers)
 	if err != nil {
@@ -74,6 +79,14 @@ func main() {
 		HomesPerSec: float64(*homes) / wall.Seconds(),
 		Report:      res.Report(),
 	}
+	if r := res.MetricsRegistry(); r != nil {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: dumping metrics:", err)
+			os.Exit(1)
+		}
+		rep.Metrics = json.RawMessage(buf.Bytes())
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -84,6 +97,11 @@ func main() {
 		return
 	}
 	printHuman(rep)
+	if rep.Metrics != nil {
+		fmt.Println("metrics:")
+		_, _ = os.Stdout.Write(rep.Metrics) // stdout write failure is fatal anyway
+		fmt.Println()
+	}
 }
 
 func printHuman(rep fleetReport) {

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"threegol/internal/obs"
 	"threegol/internal/permit"
 )
 
@@ -61,10 +62,12 @@ func main() {
 	flag.Parse()
 
 	table := &utilTable{util: make(map[string]float64), fallback: *fallback}
+	reg := obs.NewRegistry()
 	backend := &permit.Backend{
 		Utilization: table.get,
 		Threshold:   *threshold,
 		TTL:         *ttl,
+		Metrics:     permit.NewMetrics(reg),
 	}
 
 	if *feed {
@@ -92,7 +95,10 @@ func main() {
 		}
 	}()
 
-	log.Printf("3golpermitd: serving /permit on %s (threshold %.2f, ttl %v)",
+	mux := http.NewServeMux()
+	mux.Handle("/permit", backend)
+	mux.Handle("/debug/metrics", obs.Handler(reg))
+	log.Printf("3golpermitd: serving /permit and /debug/metrics on %s (threshold %.2f, ttl %v)",
 		*listen, *threshold, *ttl)
-	log.Fatal(http.ListenAndServe(*listen, backend))
+	log.Fatal(http.ListenAndServe(*listen, mux))
 }

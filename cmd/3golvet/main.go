@@ -1,4 +1,4 @@
-// 3golvet is the repository's static analyzer. It enforces the
+// Command 3golvet is the repository's static analyzer. It enforces the
 // determinism and concurrency invariants the trace-driven evaluation
 // depends on: no wall-clock reads or global randomness in simulation
 // packages, disciplined mutex usage, and no silently dropped errors.

@@ -45,6 +45,9 @@ type Beacon struct {
 	Announce func() (Announcement, bool)
 	// Interval between beacons; 0 selects DefaultInterval.
 	Interval time.Duration
+	// Metrics, when non-nil, receives beacon instrumentation (see
+	// NewMetrics).
+	Metrics *Metrics
 
 	mu   sync.Mutex
 	stop chan struct{}
@@ -100,6 +103,7 @@ func (b *Beacon) Start() error {
 
 func (b *Beacon) send(conn *net.UDPConn) {
 	ann, ok := b.Announce()
+	b.Metrics.beacon(ok)
 	if !ok {
 		return
 	}
@@ -134,6 +138,9 @@ type Browser struct {
 	// TTL is how long an entry survives without a refresh; 0 selects
 	// 3×DefaultInterval.
 	TTL time.Duration
+	// Metrics, when non-nil, receives announcement/churn instrumentation
+	// (see NewMetrics).
+	Metrics *Metrics
 
 	mu      sync.Mutex
 	conn    *net.UDPConn
@@ -196,6 +203,7 @@ func (br *Browser) record(ann Announcement) {
 	defer br.mu.Unlock()
 	if !br.closed {
 		br.entries[ann.Name] = entry{ann: ann, seen: time.Now()} //3golvet:allow wallclock
+		br.Metrics.received()
 	}
 }
 
@@ -213,13 +221,16 @@ func (br *Browser) Devices() []Announcement {
 	defer br.mu.Unlock()
 	cutoff := time.Now().Add(-br.ttl()) //3golvet:allow wallclock — TTLs age in wall time
 	out := make([]Announcement, 0, len(br.entries))
+	expired := 0
 	for name, e := range br.entries {
 		if e.seen.Before(cutoff) {
 			delete(br.entries, name)
+			expired++
 			continue
 		}
 		out = append(out, e.ann)
 	}
+	br.Metrics.swept(expired, len(out))
 	return out
 }
 

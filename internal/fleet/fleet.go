@@ -105,6 +105,10 @@ type Config struct {
 	BinSeconds float64
 	// Scenario holds the onloading parameters.
 	Scenario Scenario
+	// Metrics enables the engine's obs instrumentation: each shard fills
+	// a private registry, merged in shard order alongside Result. Off by
+	// default — it roughly doubles the accumulator's allocation count.
+	Metrics bool
 }
 
 func (c Config) withDefaults() Config {

@@ -74,7 +74,7 @@ func simulateShard(cfg Config, sh Shard) *Result {
 	sc := cfg.Scenario
 	sizeDist := stats.LogNormalFromMoments(sc.MeanVideoBytes, sc.MeanVideoBytes*0.9)
 
-	res := newResult(cfg)
+	res := newResult(cfg, sh)
 	homes := make([]*home, sh.Homes)
 	for i := range homes {
 		homes[i] = genHome(sc, sh.First+i, rng)
@@ -105,6 +105,7 @@ func simulateShard(cfg Config, sh Shard) *Result {
 		for _, h := range homes {
 			if h.sessions > 0 {
 				res.Speedups.Add(h.dslSec / h.boostSec)
+				res.metrics.speedup(h.dslSec / h.boostSec)
 			}
 		}
 	}

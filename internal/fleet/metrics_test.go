@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// metricsDump runs the config with instrumentation on and returns the
+// merged registry's JSON dump.
+func metricsDump(t *testing.T, cfg Config, workers int) []byte {
+	t.Helper()
+	res, err := Run(cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.MetricsRegistry()
+	if reg == nil {
+		t.Fatal("Config.Metrics set but MetricsRegistry() returned nil")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The observability counterpart of TestRunDeterministicAcrossWorkers:
+// with instrumentation on, the merged registry dump is byte-identical
+// for every worker count — metrics obey the same merge-reduce contract
+// as the Result they ride on.
+func TestMetricsDumpDeterministicAcrossWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metrics = true
+	base := metricsDump(t, cfg, 1)
+	if len(base) == 0 {
+		t.Fatal("empty metrics dump")
+	}
+	for _, workers := range []int{4, 16} {
+		if got := metricsDump(t, cfg, workers); !bytes.Equal(base, got) {
+			t.Errorf("workers=%d produced a different metrics dump than workers=1", workers)
+		}
+	}
+}
+
+// Without Config.Metrics the engine must not pay for instrumentation.
+func TestMetricsOffByDefault(t *testing.T) {
+	res, err := Run(testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MetricsRegistry() != nil {
+		t.Error("MetricsRegistry() non-nil without Config.Metrics")
+	}
+}

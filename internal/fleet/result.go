@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"threegol/internal/diurnal"
+	"threegol/internal/obs"
 	"threegol/internal/stats"
 )
 
@@ -49,20 +50,35 @@ type Result struct {
 	// BackhaulMbps is the covering towers' total backhaul, scaled to
 	// the population (identical across shards).
 	BackhaulMbps float64
+	// metrics holds the engine's obs instruments when Config.Metrics is
+	// set; the merged registry is exposed via MetricsRegistry.
+	metrics *Metrics
 }
 
-func newResult(cfg Config) *Result {
-	return &Result{
+func newResult(cfg Config, sh Shard) *Result {
+	r := &Result{
 		Days:         cfg.Days,
 		Speedups:     stats.NewSketch(speedupLo, speedupHi, speedupBins),
 		Budgeted:     NewLoadBins(cfg.BinSeconds),
 		Unlimited:    NewLoadBins(cfg.BinSeconds),
 		BackhaulMbps: cfg.Scenario.BackhaulMbpsPer18k * float64(cfg.Homes) / 18000,
 	}
+	if cfg.Metrics {
+		r.metrics = NewMetrics(obs.NewRegistry(), sh.Index)
+	}
+	return r
+}
+
+// MetricsRegistry returns the merged obs registry, or nil when the run
+// was configured without Config.Metrics. Its JSON dump is bit-identical
+// for every worker count (see Mergeable).
+func (r *Result) MetricsRegistry() *obs.Registry {
+	return r.metrics.Registry()
 }
 
 // observeHome records a generated household's static quantities.
 func (r *Result) observeHome(h *home, days int) {
+	r.metrics.home()
 	r.Homes++
 	if h.viewer {
 		r.Viewers++
@@ -76,6 +92,7 @@ func (r *Result) session(h *home, tod, size float64) {
 	r.Sessions++
 	r.TotalBytes += size
 	b := h.model.Apply(size, h.remaining)
+	r.metrics.session(b.OnloadedBytes)
 	h.remaining -= b.OnloadedBytes
 	h.dslSec += b.DSLSeconds
 	h.boostSec += b.BoostSeconds
@@ -113,6 +130,9 @@ func (r *Result) Merge(src *Result) {
 	r.Speedups.Merge(src.Speedups)
 	r.Budgeted.Merge(src.Budgeted)
 	r.Unlimited.Merge(src.Unlimited)
+	if r.metrics != nil && src.metrics != nil {
+		r.metrics.reg.Merge(src.metrics.reg)
+	}
 }
 
 // BackhaulCrossings counts the 5-minute bins whose per-day average load

@@ -19,6 +19,7 @@ var goldenFixtures = []struct {
 	deps []string // fixture packages loaded first, resolvable by import
 }{
 	{name: "simwall"},
+	{name: "obswall"},
 	{name: "realwall"},
 	{name: "randglobal"},
 	{name: "locks"},

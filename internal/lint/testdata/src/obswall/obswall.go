@@ -1,0 +1,24 @@
+// Fixture: wall-clock calls inside the metrics/tracing package (the
+// package clause says obs, which is on the SimPackages list — metric
+// timestamps would break bit-identical fleet dumps).
+package obs
+
+import "time"
+
+type span struct{ start time.Time }
+
+func startSpan() span {
+	return span{start: time.Now()}
+}
+
+func (s span) end() time.Duration {
+	return time.Since(s.start)
+}
+
+func throttle() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+func suppressed() time.Time {
+	return time.Now() //3golvet:allow wallclock
+}

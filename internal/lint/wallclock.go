@@ -18,6 +18,7 @@ var SimPackages = map[string]bool{
 	"core":      true,
 	"hls":       true,
 	"fleet":     true,
+	"obs":       true,
 }
 
 // Wallclock flags direct wall-clock reads and sleeps. Simulation packages

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "first registration")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second registration of x_total did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "second registration, different type")
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty metric name did not panic")
+		}
+	}()
+	r.NewCounter("", "nameless")
+}
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("sched_items_total", "items", "path")
+	c.With("adsl").Add(3)
+	c.With("adsl").Inc()
+	c.With("phone1").Inc()
+	if got := c.With("adsl").Value(); got != 4 {
+		t.Errorf("adsl = %d, want 4", got)
+	}
+	if got := c.With("phone1").Value(); got != 1 {
+		t.Errorf("phone1 = %d, want 1", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c", "path")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	c.Inc() // zero values against one declared label
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("devices", "live devices")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.With().Value(); got != 2 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", 0, 10, 100)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100 * 9)
+	}
+	snap := h.snapshot()
+	v := snap.Values[0]
+	if v.Count != 100 {
+		t.Fatalf("count = %d, want 100", v.Count)
+	}
+	if v.P50 < 4 || v.P50 > 5 {
+		t.Errorf("p50 = %v, want ≈4.5", v.P50)
+	}
+	if v.Min != 0.09 || v.Max != 9 {
+		t.Errorf("min/max = %v/%v, want 0.09/9", v.Min, v.Max)
+	}
+}
+
+// catalog builds one registry the way an instrumented shard would.
+func catalog() *Registry {
+	r := NewRegistry()
+	r.NewCounter("a_items_total", "items", "path")
+	r.NewGauge("a_level", "level")
+	r.NewHistogram("a_seconds", "latency", 0, 10, 100, "path")
+	return r
+}
+
+func TestMergeMatchesSingleRegistry(t *testing.T) {
+	// One registry filled directly...
+	whole := catalog()
+	// ...versus the same observations split across two shards and merged.
+	s1, s2 := catalog(), catalog()
+
+	observe := func(r *Registry, path string, n int64, lvl, x float64) {
+		r.metrics["a_items_total"].(*Counter).With(path).Add(n)
+		r.metrics["a_level"].(*Gauge).Add(lvl)
+		r.metrics["a_seconds"].(*Histogram).With(path).Observe(x)
+	}
+	type ob struct {
+		path string
+		n    int64
+		lvl  float64
+		x    float64
+	}
+	obs := []ob{{"adsl", 5, 1, 0.5}, {"adsl", 10, 2, 1.5}, {"phone1", 15, 3, 2.5}, {"phone1", 20, 4, 3.5}}
+	for i, o := range obs {
+		observe(whole, o.path, o.n, o.lvl, o.x)
+		shard := s1
+		if i >= 2 {
+			shard = s2
+		}
+		observe(shard, o.path, o.n, o.lvl, o.x)
+	}
+
+	merged := catalog()
+	merged.Merge(s1)
+	merged.Merge(s2)
+
+	var a, b bytes.Buffer
+	if err := whole.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("merged dump differs from whole dump\n--- whole ---\n%s--- merged ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestMergeUnknownMetricPanics(t *testing.T) {
+	dst := catalog()
+	src := NewRegistry()
+	src.NewCounter("not_in_dst_total", "stray")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging unknown metric did not panic")
+		}
+	}()
+	dst.Merge(src)
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	r := catalog()
+	r.metrics["a_items_total"].(*Counter).With("adsl").Add(7)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{`"a_items_total"`, `"adsl"`, `"value": 7`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("handler body missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// fakeClock is a manually-advanced clock.Clock for tracer tests.
+type fakeClock struct{ now time.Time }
+
+func (f *fakeClock) Now() time.Time                  { return f.now }
+func (f *fakeClock) Since(t time.Time) time.Duration { return f.now.Sub(t) }
+func (f *fakeClock) Sleep(d time.Duration)           { f.now = f.now.Add(d) }
+
+func TestTracerRecordsSpans(t *testing.T) {
+	r := NewRegistry()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	tr := NewTracer(r, clk)
+
+	sp := tr.Start("permit.decide")
+	clk.Sleep(250 * time.Millisecond)
+	if d := sp.End(); d != 250*time.Millisecond {
+		t.Errorf("span duration = %v, want 250ms", d)
+	}
+	if got := tr.durs.With("permit.decide").Count(); got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+	rec := tr.Recent()
+	if len(rec) != 1 || rec[0].Name != "permit.decide" {
+		t.Errorf("Recent() = %+v, want one permit.decide span", rec)
+	}
+
+	// A zero Span is inert.
+	var zero Span
+	if d := zero.End(); d != 0 {
+		t.Errorf("zero span End = %v, want 0", d)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	r := NewRegistry()
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	tr := NewTracer(r, clk)
+	for i := 0; i < SpanRingSize+10; i++ {
+		tr.Start("s").End()
+	}
+	rec := tr.Recent()
+	if len(rec) != SpanRingSize {
+		t.Errorf("ring holds %d spans, want %d", len(rec), SpanRingSize)
+	}
+}
+
+func TestRenderMarkdownGroupsAndSorts(t *testing.T) {
+	r := catalog()
+	md := RenderMarkdown(r)
+	if !strings.HasPrefix(md, "# Metrics reference") {
+		t.Error("markdown missing header")
+	}
+	if !strings.Contains(md, "## a\n") {
+		t.Error("markdown missing subsystem section")
+	}
+	i1 := strings.Index(md, "`a_items_total`")
+	i2 := strings.Index(md, "`a_level`")
+	i3 := strings.Index(md, "`a_seconds`")
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Errorf("metrics not rendered in sorted order: %d %d %d", i1, i2, i3)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// MetricSnapshot is one metric family's state at snapshot time: the
+// descriptor plus every child in sorted label-value order.
+type MetricSnapshot struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"`
+	Help   string   `json:"help"`
+	Labels []string `json:"labels,omitempty"`
+	// Values holds one entry per child, sorted by label values, so two
+	// snapshots of identical registries serialise identically.
+	Values []ValueSnapshot `json:"values"`
+}
+
+// ValueSnapshot is one child's value. Counters and gauges fill Value;
+// histograms fill Count/Sum and, when non-empty, the envelope and
+// quantiles.
+type ValueSnapshot struct {
+	LabelValues []string `json:"label_values,omitempty"`
+	Value       float64  `json:"value,omitempty"`
+	Count       int64    `json:"count,omitempty"`
+	Sum         float64  `json:"sum,omitempty"`
+	Min         float64  `json:"min,omitempty"`
+	Max         float64  `json:"max,omitempty"`
+	P50         float64  `json:"p50,omitempty"`
+	P90         float64  `json:"p90,omitempty"`
+	P99         float64  `json:"p99,omitempty"`
+}
+
+// Snapshot captures every metric sorted by name. The result depends
+// only on the registry's logical contents — never on registration
+// order, map iteration, or how a merged registry was sharded — which is
+// what makes dumps comparable byte-for-byte in the determinism tests.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	metrics := make([]Metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		metrics = append(metrics, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].Desc().Name < metrics[j].Desc().Name })
+	out := make([]MetricSnapshot, len(metrics))
+	for i, m := range metrics {
+		out[i] = m.snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON — the /debug/metrics
+// payload and the 3golfleet -metrics dump format.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

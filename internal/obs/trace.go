@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"threegol/internal/clock"
+)
+
+// SpanRingSize is how many finished spans a Tracer retains for
+// inspection (oldest evicted first).
+const SpanRingSize = 256
+
+// spanSecondsBins: [0, 60) seconds in 50 ms bins covers every
+// request-scale operation in the pipeline; longer spans clamp into the
+// last bin with their exact durations preserved in min/max/sum.
+const (
+	spanSecondsLo   = 0
+	spanSecondsHi   = 60
+	spanSecondsBins = 1200
+)
+
+// Tracer is the lightweight span layer: Start/End pairs time one named
+// operation (a permit decision, a chunk transfer, a proxy request),
+// record it into the registry's "obs_span_seconds" histogram, and keep
+// the most recent SpanRingSize spans in a ring for debugging.
+//
+// All timestamps come from the injected clock.Clock, never the wall
+// clock directly, so a tracer driven by a fake or virtual clock is
+// fully deterministic.
+type Tracer struct {
+	clk  clock.Clock
+	durs *Histogram
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// NewTracer registers the tracer's span-duration histogram on r and
+// returns a tracer timing with clk (nil selects clock.System).
+func NewTracer(r *Registry, clk clock.Clock) *Tracer {
+	return &Tracer{
+		clk: clock.Or(clk),
+		durs: r.NewHistogram("obs_span_seconds",
+			"Duration of traced operations, by span name.",
+			spanSecondsLo, spanSecondsHi, spanSecondsBins, "span"),
+	}
+}
+
+// Start opens a span. The returned Span is a value; pass it around or
+// End it in a defer.
+func (t *Tracer) Start(name string) Span {
+	return Span{t: t, name: name, start: t.clk.Now()}
+}
+
+// Span is one in-flight traced operation.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// End closes the span, records its duration, and returns it. End on a
+// zero Span is a no-op (so optional tracing needs no nil checks).
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := s.t.clk.Since(s.start)
+	s.t.durs.With(s.name).Observe(d.Seconds())
+	s.t.record(SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	return d
+}
+
+func (s *Tracer) record(rec SpanRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) < SpanRingSize {
+		s.ring = append(s.ring, rec)
+		return
+	}
+	s.ring[s.next] = rec
+	s.next = (s.next + 1) % SpanRingSize
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

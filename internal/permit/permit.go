@@ -12,6 +12,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"threegol/internal/clock"
 )
 
 // DefaultTTL is how long a granted permit stays valid ("a permit is
@@ -34,6 +36,11 @@ type Backend struct {
 	Threshold float64
 	// TTL is the permit lifetime; 0 selects DefaultTTL.
 	TTL time.Duration
+	// Metrics, when non-nil, receives decision instrumentation (see
+	// NewMetrics).
+	Metrics *Metrics
+	// Clock times decisions for Metrics; nil selects the system clock.
+	Clock clock.Clock
 
 	mu      sync.Mutex
 	grants  int
@@ -77,6 +84,8 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing cell parameter", http.StatusBadRequest)
 		return
 	}
+	clk := clock.Or(b.Clock)
+	t0 := clk.Now()
 	util := b.Utilization(cell)
 	resp := Response{Utilization: util}
 	if util < b.threshold() {
@@ -84,6 +93,7 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		resp.TTLSeconds = b.ttl().Seconds()
 	}
 	b.count(resp.Granted)
+	b.Metrics.decided(resp.Granted, clk.Since(t0).Seconds())
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp) // client disconnect; nothing to do
 }
@@ -118,6 +128,9 @@ type Client struct {
 	// HTTPClient issues the permit requests; nil uses a short-timeout
 	// default (the permit check sits on the request path).
 	HTTPClient *http.Client
+	// Metrics, when non-nil, receives refresh instrumentation (see
+	// NewMetrics).
+	Metrics *Metrics
 
 	mu      sync.Mutex
 	granted bool
@@ -141,6 +154,7 @@ func (c *Client) Allowed() bool {
 
 	resp, err := c.fetch()
 	now := time.Now() //3golvet:allow wallclock — permit TTLs are wall-clock by protocol
+	c.Metrics.refreshed(err == nil && resp.Granted, err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {

@@ -1,0 +1,61 @@
+package proxy
+
+import "threegol/internal/obs"
+
+// Request outcomes as recorded in Metrics.Requests.
+const (
+	outcomeProxied = "proxied" // absolute-form request forwarded upstream
+	outcomeTunnel  = "tunnel"  // CONNECT tunnel spliced
+	outcomeDenied  = "denied"  // Admit hook said no (no permit / no quota)
+	outcomeError   = "error"   // upstream unreachable or bad request
+)
+
+// Metrics holds the device proxy's instruments; register with
+// NewMetrics and assign to Server.Metrics. A nil Metrics disables
+// instrumentation. Latencies are measured on Server.Clock.
+type Metrics struct {
+	// Requests counts proxied requests by outcome
+	// (proxied | tunnel | denied | error).
+	Requests *obs.Counter
+	// Bytes counts bytes moved over the 3G interface (both directions,
+	// tunnels included) — the quantity the quota tracker charges.
+	Bytes *obs.Counter
+	// RequestSeconds is the service time of plain-HTTP proxied requests
+	// (first byte in to last body byte out); tunnels are excluded, their
+	// lifetime is connection-scoped.
+	RequestSeconds *obs.Histogram
+}
+
+// NewMetrics registers the proxy's metrics on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Requests: r.NewCounter("proxy_requests_total",
+			"Requests handled by the device proxy, by outcome (proxied | tunnel | denied | error).", "outcome"),
+		Bytes: r.NewCounter("proxy_bytes_total",
+			"Bytes moved over the 3G interface, both directions, tunnels included."),
+		RequestSeconds: r.NewHistogram("proxy_request_seconds",
+			"Service time of plain-HTTP proxied requests (tunnels excluded).",
+			0, 60, 1200),
+	}
+}
+
+func (m *Metrics) request(outcome string) {
+	if m == nil {
+		return
+	}
+	m.Requests.With(outcome).Inc()
+}
+
+func (m *Metrics) bytes(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Bytes.Add(n)
+}
+
+func (m *Metrics) seconds(s float64) {
+	if m == nil {
+		return
+	}
+	m.RequestSeconds.Observe(s)
+}

@@ -17,9 +17,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"threegol/internal/clock"
 )
 
 // Dialer is the subset of net.Dialer the proxy needs; netem.Dialer and
@@ -41,6 +44,17 @@ type Server struct {
 	OnBytes func(n int64)
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives request/byte/latency
+	// instrumentation (see NewMetrics).
+	Metrics *Metrics
+	// Clock times request service for Metrics; nil selects the system
+	// clock.
+	Clock clock.Clock
+	// Debug, when non-nil, serves origin-form requests under /debug/
+	// (the /debug/metrics endpoint) instead of proxying them. It is
+	// consulted before the Admit gate: observability must not disappear
+	// exactly when admission is denied.
+	Debug http.Handler
 
 	transportOnce sync.Once
 	transport     *http.Transport
@@ -72,11 +86,17 @@ func (s *Server) tr() *http.Transport {
 
 // ServeHTTP implements http.Handler for proxy-form requests.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Debug != nil && !r.URL.IsAbs() && strings.HasPrefix(r.URL.Path, "/debug/") {
+		s.Debug.ServeHTTP(w, r)
+		return
+	}
 	if s.Dial == nil {
+		s.Metrics.request(outcomeError)
 		http.Error(w, "proxy misconfigured: no dialer", http.StatusInternalServerError)
 		return
 	}
 	if s.Admit != nil && !s.Admit() {
+		s.Metrics.request(outcomeDenied)
 		http.Error(w, "3GOL onloading not permitted", http.StatusServiceUnavailable)
 		return
 	}
@@ -85,6 +105,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !r.URL.IsAbs() {
+		s.Metrics.request(outcomeError)
 		http.Error(w, "this is a proxy; absolute-form request required", http.StatusBadRequest)
 		return
 	}
@@ -92,12 +113,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveHTTP1(w http.ResponseWriter, r *http.Request) {
+	clk := clock.Or(s.Clock)
+	t0 := clk.Now()
 	out := r.Clone(r.Context())
 	out.RequestURI = "" // client-side field must be empty for RoundTrip
 	removeHopHeaders(out.Header)
 
 	resp, err := s.tr().RoundTrip(out)
 	if err != nil {
+		s.Metrics.request(outcomeError)
 		s.logf("proxy: %s %s: %v", r.Method, r.URL, err)
 		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
 		return
@@ -112,6 +136,8 @@ func (s *Server) serveHTTP1(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(resp.StatusCode)
 	n, err := io.Copy(w, resp.Body)
 	s.account(n + approxRequestBytes(r))
+	s.Metrics.request(outcomeProxied)
+	s.Metrics.seconds(clk.Since(t0).Seconds())
 	if err != nil && !errors.Is(err, context.Canceled) {
 		s.logf("proxy: copying response for %s: %v", r.URL, err)
 	}
@@ -125,9 +151,11 @@ func (s *Server) serveTunnel(w http.ResponseWriter, r *http.Request) {
 	}
 	upstream, err := s.Dial.DialContext(r.Context(), "tcp", r.Host)
 	if err != nil {
+		s.Metrics.request(outcomeError)
 		http.Error(w, "cannot reach "+r.Host, http.StatusBadGateway)
 		return
 	}
+	s.Metrics.request(outcomeTunnel)
 	client, buf, err := hj.Hijack()
 	if err != nil {
 		upstream.Close()
@@ -171,6 +199,7 @@ func (s *Server) account(n int64) {
 		return
 	}
 	s.bytesTotal.Add(n)
+	s.Metrics.bytes(n)
 	if s.OnBytes != nil {
 		s.OnBytes(n)
 	}

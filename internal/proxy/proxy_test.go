@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"sync/atomic"
 	"testing"
+
+	"threegol/internal/obs"
 )
 
 // newProxyClient starts the proxy server and returns an http.Client that
@@ -210,4 +212,40 @@ func (d countingDialer) DialContext(ctx context.Context, network, addr string) (
 	d.n.Add(1)
 	var nd net.Dialer
 	return nd.DialContext(ctx, network, addr)
+}
+
+// The debug route must answer origin-form /debug/ requests before the
+// Admit gate: metrics stay reachable exactly when admission is denied.
+func TestProxyDebugRouteBypassesAdmitGate(t *testing.T) {
+	reg := obs.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", obs.Handler(reg))
+	s := &Server{
+		Dial:    &net.Dialer{},
+		Admit:   func() bool { return false },
+		Metrics: NewMetrics(reg),
+		Debug:   mux,
+	}
+	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	// Origin-form request straight at the proxy (no Proxy transport).
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/metrics with Admit=false = %s, want 200", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("proxy_requests_total")) {
+		t.Errorf("metrics body missing proxy_requests_total:\n%s", body)
+	}
 }

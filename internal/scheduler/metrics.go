@@ -1,0 +1,113 @@
+package scheduler
+
+import "threegol/internal/obs"
+
+// Metrics holds the scheduler's instruments. Register once per process
+// (or per simulation shard) with NewMetrics and hand the struct to
+// every transaction via Options.Metrics; a nil Metrics disables
+// instrumentation with no overhead beyond a nil check.
+//
+// The "path" label carries Path.Name() ("adsl", "phone1", …). Elapsed
+// times come from the transaction's injected clock.Clock, so a
+// virtual-clock run fills the latency histogram deterministically.
+type Metrics struct {
+	// Assignments counts item-to-path launches: first attempts and
+	// endgame replicas, but not same-path retries.
+	Assignments *obs.Counter
+	// Completed counts winning transfers per path.
+	Completed *obs.Counter
+	// Retries counts failed transfer attempts (the item is retried on
+	// the same path, or — under GRD — requeued for another).
+	Retries *obs.Counter
+	// Requeues counts items put back on the pending queue after a path
+	// exhausted its retry budget for them — the reassignment-on-path-
+	// death signal.
+	Requeues *obs.Counter
+	// Duplicates counts endgame replica launches (GRD/PLAYOUT only).
+	Duplicates *obs.Counter
+	// Bytes counts all bytes moved per path, including losing replicas.
+	Bytes *obs.Counter
+	// WastedBytes counts bytes moved by replicas that lost the endgame
+	// race.
+	WastedBytes *obs.Counter
+	// ItemSeconds records, for each completed item, the elapsed time
+	// from transaction start to its first completion, by winning path —
+	// the per-transaction completion curve (Report.ItemDone) as a
+	// mergeable histogram.
+	ItemSeconds *obs.Histogram
+}
+
+// NewMetrics registers the scheduler's metrics on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Assignments: r.NewCounter("scheduler_assignments_total",
+			"Item-to-path launches: first attempts and endgame replicas (not same-path retries).", "path"),
+		Completed: r.NewCounter("scheduler_items_completed_total",
+			"Winning item transfers, by path.", "path"),
+		Retries: r.NewCounter("scheduler_retries_total",
+			"Failed transfer attempts that will be retried or requeued, by path.", "path"),
+		Requeues: r.NewCounter("scheduler_requeues_total",
+			"Items requeued after a path exhausted its retry budget for them (reassignment on path death)."),
+		Duplicates: r.NewCounter("scheduler_duplicates_total",
+			"Endgame replica launches (GRD/PLAYOUT), by path.", "path"),
+		Bytes: r.NewCounter("scheduler_bytes_total",
+			"Bytes moved per path, including losing replicas.", "path"),
+		WastedBytes: r.NewCounter("scheduler_wasted_bytes_total",
+			"Bytes moved by replicas that lost the endgame race."),
+		ItemSeconds: r.NewHistogram("scheduler_item_seconds",
+			"Elapsed time from transaction start to each item's first completion, by winning path.",
+			0, 60, 1200, "path"),
+	}
+}
+
+// The hooks below are nil-safe so instrumented code needs no guards.
+
+func (m *Metrics) assigned(path string) {
+	if m == nil {
+		return
+	}
+	m.Assignments.With(path).Inc()
+}
+
+func (m *Metrics) completed(path string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.Completed.With(path).Inc()
+	m.ItemSeconds.With(path).Observe(seconds)
+}
+
+func (m *Metrics) retried(path string) {
+	if m == nil {
+		return
+	}
+	m.Retries.With(path).Inc()
+}
+
+func (m *Metrics) requeued() {
+	if m == nil {
+		return
+	}
+	m.Requeues.Inc()
+}
+
+func (m *Metrics) duplicated(path string) {
+	if m == nil {
+		return
+	}
+	m.Duplicates.With(path).Inc()
+}
+
+func (m *Metrics) movedBytes(path string, n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Bytes.With(path).Add(n)
+}
+
+func (m *Metrics) wasted(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.WastedBytes.Add(n)
+}

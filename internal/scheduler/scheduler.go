@@ -106,6 +106,9 @@ type Options struct {
 	// Clock supplies elapsed-time measurement; nil selects the system
 	// clock. Tests and virtual-time harnesses inject a fake here.
 	Clock clock.Clock
+	// Metrics, when non-nil, receives per-path instrumentation (see
+	// NewMetrics); latencies are measured on Clock.
+	Metrics *Metrics
 }
 
 func (o Options) minAlpha() float64 {
@@ -230,6 +233,7 @@ func (t *tracker) complete(item Item, pathName string, bytes int64) bool {
 	t.rep.PerPath[pathName] = st
 	cb := t.opts.OnItemDone
 	t.mu.Unlock()
+	t.opts.Metrics.completed(pathName, elapsed.Seconds())
 	if cb != nil {
 		cb(item, elapsed)
 	}
@@ -248,6 +252,7 @@ func (t *tracker) addBytesLocked(pathName string, bytes int64) {
 	st := t.rep.PerPath[pathName]
 	st.Bytes += bytes
 	t.rep.PerPath[pathName] = st
+	t.opts.Metrics.movedBytes(pathName, bytes)
 }
 
 func (t *tracker) isDone(id int) bool {
@@ -267,12 +272,14 @@ func (t *tracker) addWaste(bytes int64) {
 	t.mu.Lock()
 	t.rep.WastedBytes += bytes
 	t.mu.Unlock()
+	t.opts.Metrics.wasted(bytes)
 }
 
-func (t *tracker) addDuplicate() {
+func (t *tracker) addDuplicate(pathName string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rep.Duplicates++
+	t.opts.Metrics.duplicated(pathName)
 }
 
 // ----- Round robin -----
@@ -311,6 +318,7 @@ func drainQueues(ctx context.Context, queues [][]Item, paths []Path, opts Option
 // receives (bytes, seconds) of the successful attempt for bandwidth
 // estimation.
 func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk *tracker, onSample func(bytes int64, seconds float64)) error {
+	trk.opts.Metrics.assigned(p.Name())
 	var lastErr error
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -331,6 +339,7 @@ func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		trk.opts.Metrics.retried(p.Name())
 		lastErr = err
 	}
 	return fmt.Errorf("scheduler: item %d (%s) failed on path %s after %d attempts: %w",
@@ -604,12 +613,13 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 					inflight[it.ID] = f
 				} else {
 					f = pickDuplicate(p.Name())
-					trk.addDuplicate()
+					trk.addDuplicate(p.Name())
 				}
 				tctx, cancel := context.WithCancel(ctx)
 				f.replicas[p.Name()] = cancel
 				item := f.item
 				mu.Unlock()
+				trk.opts.Metrics.assigned(p.Name())
 
 				n, err := p.Transfer(tctx, item)
 				// Record whether *our replica* was cancelled before we
@@ -652,6 +662,7 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 					// completed elsewhere or every path has exhausted its
 					// retry budget for it.
 					trk.addBytes(p.Name(), n)
+					trk.opts.Metrics.retried(p.Name())
 					if !trk.isDone(item.ID) {
 						recordFail(item.ID, p.Name())
 						switch {
@@ -663,6 +674,7 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 							// path with remaining budget can take it.
 							delete(inflight, item.ID)
 							pending = append(pending, item)
+							trk.opts.Metrics.requeued()
 						}
 					}
 					cond.Broadcast()

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"sync"
 
+	"threegol/internal/clock"
 	"threegol/internal/scheduler"
 )
 
@@ -29,6 +30,11 @@ type DownloadPath struct {
 	// proxy installs a caching sink here. Sink must be safe for
 	// concurrent calls with distinct items.
 	Sink func(item scheduler.Item, body io.Reader) (int64, error)
+	// Metrics, when non-nil, receives transfer instrumentation (see
+	// NewMetrics); one Metrics may be shared across paths.
+	Metrics *Metrics
+	// Clock times transfers for Metrics; nil selects the system clock.
+	Clock clock.Clock
 }
 
 // Name implements scheduler.Path.
@@ -36,7 +42,12 @@ func (p *DownloadPath) Name() string { return p.PathName }
 
 // Transfer implements scheduler.Path: GET the item and feed it to the
 // sink, returning bytes moved (partial on cancellation).
-func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64, err error) {
+	clk := clock.Or(p.Clock)
+	t0 := clk.Now()
+	defer func() {
+		p.Metrics.done(dirDownload, n, err, ctx.Err() != nil, clk.Since(t0).Seconds())
+	}()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, item.Name, nil)
 	if err != nil {
 		return 0, fmt.Errorf("transfer: building request for %s: %w", item.Name, err)
@@ -55,7 +66,7 @@ func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (int64
 			return io.Copy(io.Discard, body)
 		}
 	}
-	n, err := sink(item, resp.Body)
+	n, err = sink(item, resp.Body)
 	if err != nil {
 		// Prefer reporting cancellation over the wrapped copy error so
 		// the scheduler classifies aborted replicas correctly.
@@ -84,6 +95,11 @@ type UploadPath struct {
 	Field string
 	// Source opens each item's content.
 	Source ItemSource
+	// Metrics, when non-nil, receives transfer instrumentation (see
+	// NewMetrics); one Metrics may be shared across paths.
+	Metrics *Metrics
+	// Clock times transfers for Metrics; nil selects the system clock.
+	Clock clock.Clock
 }
 
 // Name implements scheduler.Path.
@@ -91,7 +107,12 @@ func (p *UploadPath) Name() string { return p.PathName }
 
 // Transfer implements scheduler.Path: stream one multipart POST. The
 // returned byte count covers the item content (not multipart framing).
-func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64, err error) {
+	clk := clock.Or(p.Clock)
+	t0 := clk.Now()
+	defer func() {
+		p.Metrics.done(dirUpload, n, err, ctx.Err() != nil, clk.Since(t0).Seconds())
+	}()
 	if p.Source == nil {
 		return 0, fmt.Errorf("transfer: UploadPath %s has no Source", p.PathName)
 	}

@@ -37,6 +37,9 @@ type Server struct {
 	// false (the default) only sizes and digests are kept, so long
 	// experiments don't accumulate memory.
 	KeepPayloads bool
+	// Metrics, when non-nil, receives request/file/byte instrumentation
+	// (see NewMetrics).
+	Metrics *Metrics
 
 	mu       sync.Mutex
 	files    map[string]*File
@@ -107,6 +110,7 @@ func (s *Server) serveUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no file parts in request", http.StatusBadRequest)
 		return
 	}
+	s.Metrics.request()
 	w.WriteHeader(http.StatusCreated)
 	_ = json.NewEncoder(w).Encode(map[string]any{"stored": stored}) // client disconnect; nothing to do
 }
@@ -121,8 +125,10 @@ func (s *Server) record(name string, size int64, digest string, payload []byte) 
 	s.bytes += size
 	if f, ok := s.files[name]; ok {
 		f.Copies++
+		s.Metrics.stored(size, true)
 		return
 	}
+	s.Metrics.stored(size, false)
 	s.files[name] = &File{Name: name, Size: size, SHA256: digest, Copies: 1}
 	if s.KeepPayloads {
 		if s.payloads == nil {

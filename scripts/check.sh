@@ -9,6 +9,8 @@
 #   5. go test -race — full suite under the race detector
 #   6. fleet smoke — 3golfleet city-scale engine run inside a time
 #      budget, with its -json report validated for shape
+#   7. metrics docs — METRICS.md must match the live registry
+#      (3golobs gen-docs -check)
 #
 # Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
 set -eu
@@ -49,5 +51,10 @@ smoke=$(mktemp)
 trap 'rm -f "$smoke"' EXIT
 timeout 180 go run ./cmd/3golfleet -homes 2000 -days 1 -shards 4 -json > "$smoke"
 go run ./cmd/3golfleet -validate < "$smoke"
+
+echo '==> metrics docs (3golobs gen-docs -check)'
+# METRICS.md is rendered from the live metric registry; adding, renaming
+# or relabelling a metric without regenerating the reference fails here.
+go run ./cmd/3golobs gen-docs -check
 
 echo 'check.sh: all stages passed'
