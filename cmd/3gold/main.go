@@ -12,21 +12,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"threegol/internal/discovery"
 	"threegol/internal/obs"
+	"threegol/internal/obs/eventlog"
 	"threegol/internal/permit"
 	"threegol/internal/proxy"
 	"threegol/internal/quota"
 )
+
+// eventRingSize bounds the daemon's in-memory flight recorder; the
+// /debug/events endpoint serves the most recent events.
+const eventRingSize = 4096
 
 func main() {
 	var (
@@ -37,17 +44,31 @@ func main() {
 		backend   = flag.String("backend", "", "permit backend base URL (network-integrated mode)")
 		cell      = flag.String("cell", "", "serving cell id reported to the permit backend")
 		iface3g   = flag.String("bind-3g", "", "local address of the cellular interface to dial from (optional)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the proxy's debug mux")
 		verbosity = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	srv := &proxy.Server{Dial: dialer(*iface3g), Metrics: proxy.NewMetrics(reg)}
+	tracer := obs.NewTracer(reg, nil)
+	// Seed per process so span IDs from two daemons never collide when
+	// their logs are stitched together.
+	events := eventlog.NewRing(0, int64(os.Getpid()), eventlog.SinceStart(nil), eventRingSize)
+	srv := &proxy.Server{Dial: dialer(*iface3g), Metrics: proxy.NewMetrics(reg), Events: events}
 	if *verbosity {
 		srv.Logf = log.Printf
 	}
 	debugMux := http.NewServeMux()
 	debugMux.Handle("/debug/metrics", obs.Handler(reg))
+	debugMux.Handle("/debug/spans", obs.SpansHandler(tracer))
+	debugMux.Handle("/debug/events", eventlog.Handler(events))
+	if *pprofOn {
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv.Debug = debugMux
 
 	var tracker *quota.Tracker
@@ -58,10 +79,11 @@ func main() {
 	var permits *permit.Client
 	if *backend != "" {
 		permits = &permit.Client{BackendURL: *backend, Device: *name, Cell: *cell,
-			Metrics: permit.NewMetrics(reg)}
+			Metrics: permit.NewMetrics(reg), Events: events}
 	}
-	srv.Admit = func() bool {
-		if permits != nil && !permits.Allowed() {
+	srv.Admit = func(ctx context.Context) bool {
+		defer tracer.Start("admit").End()
+		if permits != nil && !permits.AllowedCtx(ctx) {
 			return false
 		}
 		if tracker != nil && !tracker.ShouldAdvertise() {
@@ -81,7 +103,7 @@ func main() {
 		beacon := &discovery.Beacon{
 			Target: *disco,
 			Announce: func() (discovery.Announcement, bool) {
-				if !srv.Admit() {
+				if !srv.Admit(context.Background()) {
 					return discovery.Announcement{}, false
 				}
 				ann := discovery.Announcement{Name: *name, ProxyAddr: addr}

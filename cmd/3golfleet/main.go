@@ -9,7 +9,9 @@
 //	3golfleet -homes 18000 -days 1 -shards 8 -workers 8 -json
 //
 // With -validate it instead reads a -json report from stdin and exits
-// non-zero if it is malformed — the CI smoke gate.
+// non-zero if it is malformed — the CI smoke gate. With -events FILE the
+// run also records the deterministic flight recorder and writes the
+// merged event log as JSON Lines for cmd/3goltrace.
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed deriving every shard's RNG stream")
 		asJSON   = flag.Bool("json", false, "emit the machine-readable report")
 		metrics  = flag.Bool("metrics", false, "run with obs instrumentation and dump the merged registry")
+		events   = flag.String("events", "", "run with the flight recorder and write the merged event log (JSONL) to this file; \"-\" = stdout")
 		validate = flag.Bool("validate", false, "validate a -json report read from stdin and exit")
 	)
 	flag.Parse()
@@ -61,7 +64,8 @@ func main() {
 		return
 	}
 
-	cfg := fleet.Config{Homes: *homes, Days: *days, Shards: *shards, Seed: *seed, Metrics: *metrics}
+	cfg := fleet.Config{Homes: *homes, Days: *days, Shards: *shards, Seed: *seed,
+		Metrics: *metrics, Events: *events != ""}
 	start := time.Now() //3golvet:allow wallclock — measuring real engine throughput
 	res, err := fleet.Run(cfg, *workers)
 	if err != nil {
@@ -69,6 +73,13 @@ func main() {
 		os.Exit(1)
 	}
 	wall := time.Since(start) //3golvet:allow wallclock — measuring real engine throughput
+
+	if *events != "" {
+		if err := writeEvents(res, *events); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: writing events:", err)
+			os.Exit(1)
+		}
+	}
 
 	rep := fleetReport{
 		Experiment:  "fleet",
@@ -102,6 +113,25 @@ func main() {
 		_, _ = os.Stdout.Write(rep.Metrics) // stdout write failure is fatal anyway
 		fmt.Println()
 	}
+}
+
+// writeEvents dumps the merged flight-recorder stream as JSON Lines —
+// the capture surface cmd/3goltrace ingests. The bytes depend only on
+// the run config, never on -workers.
+func writeEvents(res *fleet.Result, dest string) error {
+	log := res.EventLog()
+	if dest == "-" {
+		return log.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := log.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printHuman(rep fleetReport) {

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -26,8 +27,13 @@ import (
 	"time"
 
 	"threegol/internal/obs"
+	"threegol/internal/obs/eventlog"
 	"threegol/internal/permit"
 )
+
+// eventRingSize bounds the backend's in-memory flight recorder; the
+// /debug/events endpoint serves the most recent events.
+const eventRingSize = 4096
 
 // utilTable is a concurrent cellID → utilisation map fed from stdin.
 type utilTable struct {
@@ -58,16 +64,23 @@ func main() {
 		ttl       = flag.Duration("ttl", permit.DefaultTTL, "permit lifetime")
 		fallback  = flag.Float64("default-util", 0, "utilisation assumed for cells with no feed data")
 		feed      = flag.Bool("stdin-feed", false, "read 'cellID utilisation' lines from stdin")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	table := &utilTable{util: make(map[string]float64), fallback: *fallback}
 	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, nil)
+	// Seed per process so span IDs from multiple daemons never collide
+	// when their logs are stitched together.
+	events := eventlog.NewRing(0, int64(os.Getpid()), eventlog.SinceStart(nil), eventRingSize)
 	backend := &permit.Backend{
 		Utilization: table.get,
 		Threshold:   *threshold,
 		TTL:         *ttl,
 		Metrics:     permit.NewMetrics(reg),
+		Events:      events,
+		Tracer:      tracer,
 	}
 
 	if *feed {
@@ -98,6 +111,15 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/permit", backend)
 	mux.Handle("/debug/metrics", obs.Handler(reg))
+	mux.Handle("/debug/spans", obs.SpansHandler(tracer))
+	mux.Handle("/debug/events", eventlog.Handler(events))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	log.Printf("3golpermitd: serving /permit and /debug/metrics on %s (threshold %.2f, ttl %v)",
 		*listen, *threshold, *ttl)
 	log.Fatal(http.ListenAndServe(*listen, mux))

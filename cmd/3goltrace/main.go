@@ -1,0 +1,250 @@
+// Command 3goltrace analyses flight-recorder event logs — the JSONL
+// streams captured by `3golfleet -events` or a daemon's /debug/events
+// endpoint. It reconstructs causal traces and reports what the paper's
+// aggregate metrics cannot: why one transaction was slow.
+//
+//	3goltrace events.jsonl               # summary + anomalies
+//	3goltrace -check events.jsonl        # validate stream invariants (CI smoke)
+//	3goltrace -timeline -top 5 ev.jsonl  # per-item timelines, 5 longest traces
+//	3goltrace -critical ev.jsonl         # critical-path breakdown per trace
+//	3goltrace -anomalies ev.jsonl        # retry storms, stragglers, duplicate waste
+//	3goltrace -chrome out.json ev.jsonl  # Chrome trace_event export (chrome://tracing)
+//
+// With no file argument the stream is read from stdin, so daemon logs
+// pipe straight in:
+//
+//	curl -s http://device:8081/debug/events | 3goltrace -check -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"threegol/internal/obs/eventlog"
+)
+
+func main() {
+	var (
+		check     = flag.Bool("check", false, "validate stream invariants and exit non-zero on violation")
+		timeline  = flag.Bool("timeline", false, "print a per-item timeline for each trace")
+		critical  = flag.Bool("critical", false, "print the critical-path breakdown for each trace")
+		anomalies = flag.Bool("anomalies", false, "print the anomaly summary")
+		chrome    = flag.String("chrome", "", "write a Chrome trace_event JSON export to this file; \"-\" = stdout")
+		top       = flag.Int("top", 10, "with -timeline/-critical: only the N longest traces (0 = all)")
+	)
+	flag.Parse()
+
+	events, err := readEvents(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3goltrace:", err)
+		os.Exit(1)
+	}
+
+	if *check {
+		st, err := eventlog.Check(events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3goltrace: check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d events, %d traces, %d spans (%d unended), %d points\n",
+			st.Events, st.Traces, st.Spans, st.Unended, st.Points)
+		return
+	}
+
+	a := eventlog.Assemble(events)
+	if *chrome != "" {
+		if err := writeChrome(events, *chrome); err != nil {
+			fmt.Fprintln(os.Stderr, "3goltrace: chrome export:", err)
+			os.Exit(1)
+		}
+	}
+	specific := *timeline || *critical || *anomalies || *chrome != ""
+	if *timeline {
+		printTimelines(a, *top)
+	}
+	if *critical {
+		printCritical(a, *top)
+	}
+	if *anomalies || !specific {
+		if !specific {
+			printSummary(a, events)
+		}
+		printAnomalies(a.FindAnomalies())
+	}
+}
+
+// readEvents loads a JSONL stream from the named file, or stdin when
+// the name is empty or "-".
+func readEvents(name string) ([]eventlog.Event, error) {
+	var r io.Reader = os.Stdin
+	if name != "" && name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return eventlog.ReadJSONL(r)
+}
+
+func writeChrome(events []eventlog.Event, dest string) error {
+	if dest == "-" {
+		return eventlog.WriteChromeTrace(os.Stdout, events)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	if err := eventlog.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// traceExtent is a trace's [start, end] over its ended spans.
+func traceExtent(t *eventlog.Trace) (start, end float64, ok bool) {
+	first := true
+	for _, n := range t.Spans {
+		if !n.Ended {
+			continue
+		}
+		if first || n.Start < start {
+			start = n.Start
+		}
+		if first || n.End > end {
+			end = n.End
+		}
+		first = false
+	}
+	return start, end, !first
+}
+
+// longestTraces orders traces by extent (longest first), keeping at
+// most top (0 = all).
+func longestTraces(a *eventlog.Analysis, top int) []*eventlog.Trace {
+	type ranked struct {
+		t   *eventlog.Trace
+		dur float64
+	}
+	var rs []ranked
+	for _, t := range a.Traces {
+		if s, e, ok := traceExtent(t); ok {
+			rs = append(rs, ranked{t, e - s})
+		}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].dur > rs[j].dur })
+	if top > 0 && len(rs) > top {
+		rs = rs[:top]
+	}
+	out := make([]*eventlog.Trace, len(rs))
+	for i, r := range rs {
+		out[i] = r.t
+	}
+	return out
+}
+
+func printSummary(a *eventlog.Analysis, events []eventlog.Event) {
+	spans, points := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case eventlog.KindBegin:
+			spans++
+		case eventlog.KindPoint:
+			points++
+		}
+	}
+	fmt.Printf("%d events: %d traces, %d spans, %d points\n",
+		len(events), len(a.Traces), spans, points)
+}
+
+func printTimelines(a *eventlog.Analysis, top int) {
+	for _, t := range longestTraces(a, top) {
+		start, end, _ := traceExtent(t)
+		fmt.Printf("trace %s  [%.3fs – %.3fs]\n", t.ID, start, end)
+		for _, root := range t.Roots {
+			printSpanTree(root, start, 1)
+		}
+		for _, p := range t.Points {
+			fmt.Printf("  · %-24s +%.3fs  %s\n", p.Name, p.T-start, attrLine(p.Attrs))
+		}
+	}
+}
+
+func printSpanTree(n *eventlog.SpanNode, base float64, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Ended {
+		fmt.Printf("%s%-24s +%.3fs  %.3fs  %s\n",
+			indent, n.Name, n.Start-base, n.Duration(), attrLine(n.Attrs))
+	} else {
+		fmt.Printf("%s%-24s +%.3fs  (unended)  %s\n",
+			indent, n.Name, n.Start-base, attrLine(n.Attrs))
+	}
+	for _, p := range n.Points {
+		fmt.Printf("%s  · %-22s +%.3fs  %s\n", indent, p.Name, p.T-base, attrLine(p.Attrs))
+	}
+	for _, c := range n.Children {
+		printSpanTree(c, base, depth+1)
+	}
+}
+
+func printCritical(a *eventlog.Analysis, top int) {
+	for _, t := range longestTraces(a, top) {
+		steps := t.CriticalPath()
+		if len(steps) == 0 {
+			continue
+		}
+		total := steps[0].Span.Duration()
+		fmt.Printf("trace %s  total %.3fs\n", t.ID, total)
+		for _, st := range steps {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * st.Self / total
+			}
+			fmt.Printf("  %-24s self %.3fs (%.0f%%)  %s\n",
+				st.Span.Name, st.Self, pct, attrLine(st.Span.Attrs))
+		}
+	}
+}
+
+func printAnomalies(an eventlog.Anomalies) {
+	fmt.Printf("anomalies:\n")
+	fmt.Printf("  retry storms      %d trace(s) with ≥%d retries\n",
+		len(an.RetryStorms), eventlog.RetryStormThreshold)
+	for i, s := range an.RetryStorms {
+		if i == 5 {
+			fmt.Printf("    … %d more\n", len(an.RetryStorms)-5)
+			break
+		}
+		fmt.Printf("    %s: %d retries\n", s.Trace, s.Count)
+	}
+	fmt.Printf("  straggler paths   %d\n", len(an.StragglerPaths))
+	for _, s := range an.StragglerPaths {
+		fmt.Printf("    %s: mean %.3fs over %d attempts\n", s.Path, s.MeanSecs, s.Attempts)
+	}
+	fmt.Printf("  duplicate waste   %d replica(s), %d bytes lost\n",
+		an.DuplicateEvents, an.WastedBytes)
+	fmt.Printf("  budget exhausted  %d event(s)\n", an.BudgetExhausted)
+}
+
+// attrLine renders attrs as "k=v k=v" in sorted key order.
+func attrLine(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return strings.Join(parts, " ")
+}

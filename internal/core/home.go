@@ -213,7 +213,7 @@ func (h *Home) startPhone(i int, pc PhoneConfig, scale float64, promotion, tail 
 	if ph.Tracker != nil {
 		tr := ph.Tracker
 		ph.Proxy.OnBytes = tr.Use
-		ph.Proxy.Admit = tr.ShouldAdvertise
+		ph.Proxy.Admit = func(context.Context) bool { return tr.ShouldAdvertise() }
 	}
 	addr, shutdown, err := ph.Proxy.ListenAndServe("127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"threegol/internal/obs/eventlog"
+)
+
+// The flight-recorder analogue of TestRunDeterministicAcrossWorkers:
+// the merged event stream serialises to identical bytes for every
+// worker count, and the stream passes the structural checker.
+func TestEventLogDeterministicAcrossWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Events = true
+
+	dump := func(workers int) []byte {
+		t.Helper()
+		res, err := Run(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EventLog().WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	base := dump(1)
+	if len(base) == 0 {
+		t.Fatal("workers=1 produced an empty event stream")
+	}
+	for _, workers := range []int{4, 16} {
+		if got := dump(workers); !bytes.Equal(base, got) {
+			t.Errorf("workers=%d produced a different event stream than workers=1 (%d vs %d bytes)",
+				workers, len(got), len(base))
+		}
+	}
+
+	events, err := eventlog.ReadJSONL(bytes.NewReader(base))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	st, err := eventlog.Check(events)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if st.Spans == 0 || st.Traces == 0 {
+		t.Fatalf("stream has no spans/traces: %+v", st)
+	}
+	if st.Unended != 0 {
+		t.Fatalf("fleet stream left %d spans unended", st.Unended)
+	}
+}
+
+// A session trace must reconstruct into a critical path whose head is
+// the session and whose tail is the gating transfer leg, with the leg
+// durations matching the boost model.
+func TestSessionTraceCriticalPath(t *testing.T) {
+	cfg := testConfig()
+	cfg.Events = true
+	res, err := Run(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := eventlog.Assemble(res.EventLog().Events())
+	if len(a.Traces) == 0 {
+		t.Fatal("no traces assembled")
+	}
+	checked, boosted := 0, 0
+	for _, tr := range a.Traces {
+		if len(tr.Roots) != 1 {
+			t.Fatalf("trace %s has %d roots, want 1", tr.ID, len(tr.Roots))
+		}
+		root := tr.Roots[0]
+		if root.Name != "fleet.session" {
+			t.Fatalf("trace %s root = %q, want fleet.session", tr.ID, root.Name)
+		}
+		steps := tr.CriticalPath()
+		if len(steps) < 2 {
+			t.Fatalf("trace %s critical path has %d steps, want ≥ 2", tr.ID, len(steps))
+		}
+		if steps[0].Span != root {
+			t.Fatalf("trace %s critical path does not start at the session", tr.ID)
+		}
+		leg := steps[1].Span
+		if !strings.HasPrefix(leg.Name, "fleet.path.") {
+			t.Fatalf("trace %s critical step 2 = %q, want a transfer leg", tr.ID, leg.Name)
+		}
+		// The gating leg ends when the session ends: the critical path
+		// is exactly "which path dominated transaction time".
+		if leg.End != root.End {
+			t.Fatalf("trace %s gating leg ends at %v, session at %v", tr.ID, leg.End, root.End)
+		}
+		if len(root.Children) == 2 {
+			boosted++
+		}
+		checked++
+	}
+	if checked == 0 || boosted == 0 {
+		t.Fatalf("checked %d traces, %d boosted — population too small to exercise both shapes", checked, boosted)
+	}
+}
+
+// The Chrome export of a real fleet stream decodes against the
+// trace_event schema (the per-event schema details are pinned in the
+// eventlog package tests; this guards the fleet-shaped payload).
+func TestFleetChromeExport(t *testing.T) {
+	cfg := testConfig()
+	cfg.Homes = 100
+	cfg.Events = true
+	res, err := Run(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eventlog.WriteChromeTrace(&buf, res.EventLog().Events()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid trace_event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export is empty")
+	}
+	shards := make(map[int]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "i" {
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		shards[ev.Pid] = true
+	}
+	if len(shards) < 2 {
+		t.Fatalf("export covers %d shard pids, want ≥ 2", len(shards))
+	}
+}
+
+// Events default off: no log is allocated and EventLog returns nil.
+func TestEventsOffByDefault(t *testing.T) {
+	res, err := Run(Config{Homes: 50, Seed: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventLog() != nil {
+		t.Fatal("EventLog non-nil without Config.Events")
+	}
+}

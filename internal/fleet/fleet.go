@@ -109,6 +109,13 @@ type Config struct {
 	// a private registry, merged in shard order alongside Result. Off by
 	// default — it roughly doubles the accumulator's allocation count.
 	Metrics bool
+	// Events enables the flight recorder: each shard fills a private
+	// eventlog.Log (IDs derived from Seed and the shard index, times
+	// from the shard's simclock), merged in shard order alongside
+	// Result. The merged stream is bit-identical for every worker
+	// count. Off by default — a trace per session is far heavier than
+	// the counters.
+	Events bool
 }
 
 func (c Config) withDefaults() Config {

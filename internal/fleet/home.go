@@ -74,7 +74,7 @@ func simulateShard(cfg Config, sh Shard) *Result {
 	sc := cfg.Scenario
 	sizeDist := stats.LogNormalFromMoments(sc.MeanVideoBytes, sc.MeanVideoBytes*0.9)
 
-	res := newResult(cfg, sh)
+	res := newResult(cfg, sh, clk.Now)
 	homes := make([]*home, sh.Homes)
 	for i := range homes {
 		homes[i] = genHome(sc, sh.First+i, rng)

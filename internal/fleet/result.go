@@ -3,6 +3,7 @@ package fleet
 import (
 	"threegol/internal/diurnal"
 	"threegol/internal/obs"
+	"threegol/internal/obs/eventlog"
 	"threegol/internal/stats"
 )
 
@@ -53,9 +54,12 @@ type Result struct {
 	// metrics holds the engine's obs instruments when Config.Metrics is
 	// set; the merged registry is exposed via MetricsRegistry.
 	metrics *Metrics
+	// events holds the shard's flight recorder when Config.Events is
+	// set; the merged stream is exposed via EventLog.
+	events *eventlog.Log
 }
 
-func newResult(cfg Config, sh Shard) *Result {
+func newResult(cfg Config, sh Shard, now func() float64) *Result {
 	r := &Result{
 		Days:         cfg.Days,
 		Speedups:     stats.NewSketch(speedupLo, speedupHi, speedupBins),
@@ -66,7 +70,21 @@ func newResult(cfg Config, sh Shard) *Result {
 	if cfg.Metrics {
 		r.metrics = NewMetrics(obs.NewRegistry(), sh.Index)
 	}
+	if cfg.Events {
+		// Every shard derives IDs from cfg.Seed (NOT sh.Seed): the
+		// shard index already feeds the ID derivation, and a shared
+		// seed is what keeps IDs collision-free across the merged
+		// stream (the derivation is bijective per (seed, shard)).
+		r.events = eventlog.New(sh.Index, cfg.Seed, now)
+	}
 	return r
+}
+
+// EventLog returns the merged flight recorder, or nil when the run was
+// configured without Config.Events. Its JSONL serialisation is
+// bit-identical for every worker count (see Mergeable).
+func (r *Result) EventLog() *eventlog.Log {
+	return r.events
 }
 
 // MetricsRegistry returns the merged obs registry, or nil when the run
@@ -93,6 +111,7 @@ func (r *Result) session(h *home, tod, size float64) {
 	r.TotalBytes += size
 	b := h.model.Apply(size, h.remaining)
 	r.metrics.session(b.OnloadedBytes)
+	r.recordSessionTrace(h, size, b)
 	h.remaining -= b.OnloadedBytes
 	h.dslSec += b.DSLSeconds
 	h.boostSec += b.BoostSeconds
@@ -110,6 +129,38 @@ func (r *Result) session(h *home, tod, size float64) {
 		ideal := size * h.model.Share()
 		r.Unlimited.Spread(tod, size*8/(h.model.DSLBits+h.model.G3Bits), ideal)
 	}
+}
+
+// recordSessionTrace emits one session's flight-recorder trace: a
+// "fleet.session" root spanning the whole (boosted) transfer, one leg
+// span per path with its analytic duration, and a budget-exhaustion
+// point for boostable videos the allowance could not cover. Begin times
+// come from the shard's simclock through the log's time source; leg
+// ends are computed from the boost model (EndAt), since the fleet model
+// is analytic rather than discrete-event per byte.
+func (r *Result) recordSessionTrace(h *home, size float64, b Boost) {
+	if r.events == nil {
+		return
+	}
+	now := r.events.Now()
+	root := r.events.Begin(eventlog.TraceContext{}, "fleet.session",
+		"home", eventlog.Int(int64(h.id)), "bytes", eventlog.Float(size))
+	dslBytes := size - b.OnloadedBytes
+	adsl := r.events.Begin(root.Context(), "fleet.path.adsl",
+		"path", "adsl", "bytes", eventlog.Float(dslBytes))
+	adsl.EndAt(now+dslBytes*8/h.model.DSLBits, "outcome", "ok")
+	if b.OnloadedBytes > 0 {
+		g3 := r.events.Begin(root.Context(), "fleet.path.3g",
+			"path", "3g", "bytes", eventlog.Float(b.OnloadedBytes))
+		g3.EndAt(now+b.OnloadedBytes*8/h.model.G3Bits, "outcome", "ok")
+	} else if size >= h.model.MinBoostBytes {
+		r.events.Point(root.Context(), "fleet.budget_exhausted",
+			"home", eventlog.Int(int64(h.id)))
+	}
+	root.EndAt(now+b.BoostSeconds,
+		"onloaded", eventlog.Float(b.OnloadedBytes),
+		"dsl_s", eventlog.Float(b.DSLSeconds),
+		"boost_s", eventlog.Float(b.BoostSeconds))
 }
 
 // Merge folds src into r in shard order; see Mergeable.
@@ -132,6 +183,9 @@ func (r *Result) Merge(src *Result) {
 	r.Unlimited.Merge(src.Unlimited)
 	if r.metrics != nil && src.metrics != nil {
 		r.metrics.reg.Merge(src.metrics.reg)
+	}
+	if r.events != nil && src.events != nil {
+		r.events.Merge(src.events)
 	}
 }
 

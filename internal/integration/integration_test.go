@@ -58,7 +58,7 @@ func TestNetworkIntegratedPermitLoop(t *testing.T) {
 
 	// Device component: proxy gated on the permit, beacon gated the same
 	// way.
-	srv := &proxy.Server{Dial: &net.Dialer{}, Admit: permits.Allowed}
+	srv := &proxy.Server{Dial: &net.Dialer{}, Admit: permits.AllowedCtx}
 	proxyAddr, shutdown, err := srv.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestFullOTTStack(t *testing.T) {
 	for _, name := range []string{"ph1", "ph2"} {
 		tr := quota.NewTracker(100 << 20)
 		trackers = append(trackers, tr)
-		srv := &proxy.Server{Dial: &net.Dialer{}, OnBytes: tr.Use, Admit: tr.ShouldAdvertise}
+		srv := &proxy.Server{Dial: &net.Dialer{}, OnBytes: tr.Use, Admit: func(context.Context) bool { return tr.ShouldAdvertise() }}
 		addr, shutdown, err := srv.ListenAndServe("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -234,7 +234,7 @@ func TestQuotaGateClosesMidSession(t *testing.T) {
 	defer origin.Close()
 
 	tr := quota.NewTracker(100 * 1024) // ~1.5 responses worth
-	srv := &proxy.Server{Dial: &net.Dialer{}, OnBytes: tr.Use, Admit: tr.ShouldAdvertise}
+	srv := &proxy.Server{Dial: &net.Dialer{}, OnBytes: tr.Use, Admit: func(context.Context) bool { return tr.ShouldAdvertise() }}
 	addr, shutdown, err := srv.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,7 @@ var goldenFixtures = []struct {
 }{
 	{name: "simwall"},
 	{name: "obswall"},
+	{name: "eventlogwall"},
 	{name: "realwall"},
 	{name: "randglobal"},
 	{name: "locks"},

@@ -1,0 +1,20 @@
+// Fixture: wall-clock calls inside the flight-recorder package (the
+// package clause says eventlog, which is on the SimPackages list — a
+// wall-clock timestamp or ID would break byte-identical event streams).
+package eventlog
+
+import "time"
+
+type event struct{ t time.Time }
+
+func stamp() event {
+	return event{t: time.Now()}
+}
+
+func (e event) age() time.Duration {
+	return time.Since(e.t)
+}
+
+func sinceStart() time.Time {
+	return time.Now() //3golvet:allow wallclock — anchoring the injected source is intentional
+}

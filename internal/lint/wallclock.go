@@ -19,6 +19,7 @@ var SimPackages = map[string]bool{
 	"hls":       true,
 	"fleet":     true,
 	"obs":       true,
+	"eventlog":  true,
 }
 
 // Wallclock flags direct wall-clock reads and sleeps. Simulation packages

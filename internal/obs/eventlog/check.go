@@ -1,0 +1,103 @@
+package eventlog
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckStats summarises a validated stream.
+type CheckStats struct {
+	Events int
+	Traces int
+	Spans  int
+	Points int
+	// Unended counts spans with a begin but no end — expected in ring
+	// snapshots from a live daemon, so it is reported, not an error.
+	Unended int
+}
+
+// Check validates the structural invariants of an event stream:
+//
+//   - every event has a valid kind, a name and a trace ID;
+//   - begin/end events carry a span ID;
+//   - per shard, sequence numbers are strictly increasing (stream
+//     integrity across merges);
+//   - every end matches exactly one prior begin of the same span, at a
+//     time no earlier than the begin, and no span ends twice;
+//   - timestamps are finite and non-negative.
+//
+// It deliberately does NOT require parents to resolve: a parent span
+// may live in another process's log (the HTTP propagation boundary),
+// and ring buffers evict oldest events. Unended spans are likewise
+// counted, not rejected, so daemon snapshots check clean.
+func Check(events []Event) (CheckStats, error) {
+	var st CheckStats
+	st.Events = len(events)
+	traces := make(map[string]bool)
+	lastSeq := make(map[int]uint64)
+	seqSeen := make(map[int]bool)
+	type open struct {
+		name string
+		t    float64
+	}
+	begun := make(map[string]open)
+	ended := make(map[string]bool)
+	for i, ev := range events {
+		where := fmt.Sprintf("event %d (shard %d seq %d)", i, ev.Shard, ev.Seq)
+		switch ev.Kind {
+		case KindBegin, KindEnd, KindPoint:
+		default:
+			return st, fmt.Errorf("%s: invalid kind %q", where, ev.Kind)
+		}
+		if ev.Name == "" {
+			return st, fmt.Errorf("%s: empty name", where)
+		}
+		if ev.Trace == "" {
+			return st, fmt.Errorf("%s: empty trace", where)
+		}
+		if math.IsNaN(ev.T) || math.IsInf(ev.T, 0) || ev.T < 0 {
+			return st, fmt.Errorf("%s: bad timestamp %v", where, ev.T)
+		}
+		if seqSeen[ev.Shard] && ev.Seq <= lastSeq[ev.Shard] {
+			return st, fmt.Errorf("%s: sequence not increasing (prev %d)", where, lastSeq[ev.Shard])
+		}
+		seqSeen[ev.Shard] = true
+		lastSeq[ev.Shard] = ev.Seq
+		traces[ev.Trace] = true
+		switch ev.Kind {
+		case KindBegin:
+			if ev.Span == "" {
+				return st, fmt.Errorf("%s: begin without span", where)
+			}
+			if _, ok := begun[ev.Span]; ok || ended[ev.Span] {
+				return st, fmt.Errorf("%s: span %s begun twice", where, ev.Span)
+			}
+			begun[ev.Span] = open{name: ev.Name, t: ev.T}
+			st.Spans++
+		case KindEnd:
+			if ev.Span == "" {
+				return st, fmt.Errorf("%s: end without span", where)
+			}
+			b, ok := begun[ev.Span]
+			if !ok {
+				if ended[ev.Span] {
+					return st, fmt.Errorf("%s: span %s ended twice", where, ev.Span)
+				}
+				return st, fmt.Errorf("%s: end without begin for span %s", where, ev.Span)
+			}
+			if ev.Name != b.name {
+				return st, fmt.Errorf("%s: end name %q != begin name %q for span %s", where, ev.Name, b.name, ev.Span)
+			}
+			if ev.T < b.t {
+				return st, fmt.Errorf("%s: span %s ends at %v before begin %v", where, ev.Span, ev.T, b.t)
+			}
+			delete(begun, ev.Span)
+			ended[ev.Span] = true
+		case KindPoint:
+			st.Points++
+		}
+	}
+	st.Traces = len(traces)
+	st.Unended = len(begun)
+	return st, nil
+}

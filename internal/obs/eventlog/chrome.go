@@ -1,0 +1,92 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON format
+// (chrome://tracing, Perfetto). Complete spans use ph "X" with a
+// microsecond ts/dur; points use ph "i" (instant, thread-scoped).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports events in Chrome's trace_event JSON format
+// for visualization in chrome://tracing or Perfetto. Shards map to
+// pids; traces map to dense per-shard tids in first-seen order, so
+// every transaction renders as its own row and the mapping is
+// deterministic. Sim-seconds map to microseconds.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	a := Assemble(events)
+	tids := make(map[string]int)
+	tid := func(trace string) int {
+		id, ok := tids[trace]
+		if !ok {
+			id = len(tids)
+			tids[trace] = id
+		}
+		return id
+	}
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, t := range a.Traces {
+		row := tid(t.ID)
+		for _, n := range t.Spans {
+			if !n.Ended {
+				continue
+			}
+			args := copyAttrs(n.Attrs)
+			if args == nil {
+				args = map[string]string{}
+			}
+			args["trace"] = t.ID
+			args["span"] = n.ID
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: n.Name, Cat: category(n.Name), Ph: "X",
+				Ts: n.Start * 1e6, Dur: n.Duration() * 1e6,
+				Pid: n.Shard, Tid: row, Args: args,
+			})
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind != KindPoint {
+			continue
+		}
+		args := copyAttrs(ev.Attrs)
+		if args == nil {
+			args = map[string]string{}
+		}
+		args["trace"] = ev.Trace
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name, Cat: category(ev.Name), Ph: "i",
+			Ts: ev.T * 1e6, Pid: ev.Shard, Tid: tid(ev.Trace), S: "t",
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// category maps "scheduler.attempt" to "scheduler" — the subsystem
+// prefix colours lanes in the viewer.
+func category(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -56,8 +56,12 @@ func NewTracer(r *Registry, clk clock.Clock) *Tracer {
 }
 
 // Start opens a span. The returned Span is a value; pass it around or
-// End it in a defer.
+// End it in a defer. Start on a nil Tracer returns a zero Span, so
+// optional tracing needs no nil checks on either side.
 func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
 	return Span{t: t, name: name, start: t.clk.Now()}
 }
 
@@ -98,5 +102,31 @@ func (t *Tracer) Recent() []SpanRecord {
 	out := make([]SpanRecord, 0, len(t.ring))
 	out = append(out, t.ring[t.next:]...)
 	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// SpanSnapshot is the JSON shape of one retained span, as served by
+// SpansHandler and embedded in debug snapshots.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// Start is the span's start time in RFC 3339 format with
+	// nanoseconds.
+	Start string `json:"start"`
+	// DurationSecs is the span's length in seconds.
+	DurationSecs float64 `json:"duration_secs"`
+}
+
+// Snapshot renders the span ring oldest-first in a JSON-friendly,
+// deterministic shape.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	recent := t.Recent()
+	out := make([]SpanSnapshot, len(recent))
+	for i, r := range recent {
+		out[i] = SpanSnapshot{
+			Name:         r.Name,
+			Start:        r.Start.Format(time.RFC3339Nano),
+			DurationSecs: r.Duration.Seconds(),
+		}
+	}
 	return out
 }

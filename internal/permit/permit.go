@@ -7,6 +7,7 @@
 package permit
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"threegol/internal/clock"
+	"threegol/internal/obs"
+	"threegol/internal/obs/eventlog"
 )
 
 // DefaultTTL is how long a granted permit stays valid ("a permit is
@@ -39,6 +42,13 @@ type Backend struct {
 	// Metrics, when non-nil, receives decision instrumentation (see
 	// NewMetrics).
 	Metrics *Metrics
+	// Events, when non-nil, records a flight-recorder point per permit
+	// decision, parented to the caller's X-3gol-Trace header when
+	// present — stitching backend decisions into device-side traces.
+	Events *eventlog.Log
+	// Tracer, when non-nil, times each decision into the obs span ring
+	// (surfaced at /debug/spans).
+	Tracer *obs.Tracer
 	// Clock times decisions for Metrics; nil selects the system clock.
 	Clock clock.Clock
 
@@ -86,6 +96,7 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	clk := clock.Or(b.Clock)
 	t0 := clk.Now()
+	defer b.Tracer.Start("permit.decision").End()
 	util := b.Utilization(cell)
 	resp := Response{Utilization: util}
 	if util < b.threshold() {
@@ -94,6 +105,10 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	b.count(resp.Granted)
 	b.Metrics.decided(resp.Granted, clk.Since(t0).Seconds())
+	tc, _ := eventlog.ExtractHTTP(r.Header)
+	b.Events.Point(tc, "permit.decision",
+		"cell", cell, "granted", fmt.Sprintf("%t", resp.Granted),
+		"utilization", eventlog.Float(util))
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp) // client disconnect; nothing to do
 }
@@ -131,6 +146,9 @@ type Client struct {
 	// Metrics, when non-nil, receives refresh instrumentation (see
 	// NewMetrics).
 	Metrics *Metrics
+	// Events, when non-nil, records a flight-recorder point per backend
+	// refresh, joining the TraceContext riding the caller's context.
+	Events *eventlog.Log
 
 	mu      sync.Mutex
 	granted bool
@@ -146,15 +164,27 @@ func (c *Client) httpClient() *http.Client {
 
 // Allowed reports whether the device currently holds a valid permit,
 // refreshing from the backend as needed. It is safe for concurrent use
-// and suitable as a proxy.Server Admit hook and a discovery.Beacon gate.
+// and suitable as a discovery.Beacon gate.
 func (c *Client) Allowed() bool {
+	return c.AllowedCtx(context.Background())
+}
+
+// AllowedCtx is Allowed carrying a request context, so a refresh made
+// on behalf of a traced proxy request propagates that trace to the
+// backend (the proxy.Server Admit hook shape).
+func (c *Client) AllowedCtx(ctx context.Context) bool {
 	if ok, fresh := c.cached(); fresh {
 		return ok
 	}
 
-	resp, err := c.fetch()
+	resp, err := c.fetch(ctx)
 	now := time.Now() //3golvet:allow wallclock — permit TTLs are wall-clock by protocol
 	c.Metrics.refreshed(err == nil && resp.Granted, err)
+	tc, _ := eventlog.FromContext(ctx)
+	granted := err == nil && resp.Granted
+	c.Events.Point(tc, "permit.refresh",
+		"cell", c.Cell, "granted", fmt.Sprintf("%t", granted),
+		"ok", fmt.Sprintf("%t", err == nil))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -192,9 +222,16 @@ func (c *Client) Invalidate() {
 	c.expires = time.Time{}
 }
 
-func (c *Client) fetch() (*Response, error) {
+func (c *Client) fetch(ctx context.Context) (*Response, error) {
 	url := fmt.Sprintf("%s/permit?device=%s&cell=%s", c.BackendURL, c.Device, c.Cell)
-	httpResp, err := c.httpClient().Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("permit: building request for %s: %w", url, err)
+	}
+	if tc, ok := eventlog.FromContext(ctx); ok {
+		eventlog.InjectHTTP(req.Header, tc)
+	}
+	httpResp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("permit: requesting %s: %w", url, err)
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"threegol/internal/clock"
+	"threegol/internal/obs/eventlog"
 )
 
 // Dialer is the subset of net.Dialer the proxy needs; netem.Dialer and
@@ -37,8 +38,11 @@ type Server struct {
 	// Dial reaches the origin over the 3G interface. Required.
 	Dial Dialer
 	// Admit, when non-nil, is consulted per request; a false return
-	// yields 503 Service Unavailable (no permit / quota exhausted).
-	Admit func() bool
+	// yields 503 Service Unavailable (no permit / quota exhausted). The
+	// context carries the request's TraceContext (extracted from the
+	// X-3gol-Trace header), so permit checks made inside Admit join the
+	// client's trace.
+	Admit func(ctx context.Context) bool
 	// OnBytes, when non-nil, receives the byte count of every completed
 	// request/response body and tunnel, feeding the quota tracker.
 	OnBytes func(n int64)
@@ -55,6 +59,10 @@ type Server struct {
 	// consulted before the Admit gate: observability must not disappear
 	// exactly when admission is denied.
 	Debug http.Handler
+	// Events, when non-nil, records a flight-recorder span per proxied
+	// request, parented to the client's X-3gol-Trace header when
+	// present — the cross-process half of the end-to-end trace.
+	Events *eventlog.Log
 
 	transportOnce sync.Once
 	transport     *http.Transport
@@ -90,13 +98,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.Debug.ServeHTTP(w, r)
 		return
 	}
+	if tc, ok := eventlog.ExtractHTTP(r.Header); ok {
+		// The client's trace position rides into the request context so
+		// Admit (and its permit check) extends the same trace.
+		r = r.WithContext(eventlog.NewContext(r.Context(), tc))
+	}
 	if s.Dial == nil {
 		s.Metrics.request(outcomeError)
 		http.Error(w, "proxy misconfigured: no dialer", http.StatusInternalServerError)
 		return
 	}
-	if s.Admit != nil && !s.Admit() {
+	if s.Admit != nil && !s.Admit(r.Context()) {
 		s.Metrics.request(outcomeDenied)
+		tc, _ := eventlog.FromContext(r.Context())
+		s.Events.Point(tc, "proxy.denied", "host", r.Host)
 		http.Error(w, "3GOL onloading not permitted", http.StatusServiceUnavailable)
 		return
 	}
@@ -115,6 +130,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveHTTP1(w http.ResponseWriter, r *http.Request) {
 	clk := clock.Or(s.Clock)
 	t0 := clk.Now()
+	tc, _ := eventlog.FromContext(r.Context())
+	sp := s.Events.Begin(tc, "proxy.request", "method", r.Method, "host", r.URL.Host)
 	out := r.Clone(r.Context())
 	out.RequestURI = "" // client-side field must be empty for RoundTrip
 	removeHopHeaders(out.Header)
@@ -122,6 +139,7 @@ func (s *Server) serveHTTP1(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.tr().RoundTrip(out)
 	if err != nil {
 		s.Metrics.request(outcomeError)
+		sp.End("outcome", "error", "error", err.Error())
 		s.logf("proxy: %s %s: %v", r.Method, r.URL, err)
 		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
 		return
@@ -138,6 +156,8 @@ func (s *Server) serveHTTP1(w http.ResponseWriter, r *http.Request) {
 	s.account(n + approxRequestBytes(r))
 	s.Metrics.request(outcomeProxied)
 	s.Metrics.seconds(clk.Since(t0).Seconds())
+	sp.End("outcome", "ok", "status", eventlog.Int(int64(resp.StatusCode)),
+		"bytes", eventlog.Int(n))
 	if err != nil && !errors.Is(err, context.Canceled) {
 		s.logf("proxy: copying response for %s: %v", r.URL, err)
 	}
@@ -156,6 +176,8 @@ func (s *Server) serveTunnel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Metrics.request(outcomeTunnel)
+	tunnelTC, _ := eventlog.FromContext(r.Context())
+	s.Events.Point(tunnelTC, "proxy.tunnel", "host", r.Host)
 	client, buf, err := hj.Hijack()
 	if err != nil {
 		upstream.Close()

@@ -66,7 +66,7 @@ func TestProxyAdmitGate(t *testing.T) {
 	defer origin.Close()
 
 	var allowed atomic.Bool
-	s := &Server{Dial: &net.Dialer{}, Admit: func() bool { return allowed.Load() }}
+	s := &Server{Dial: &net.Dialer{}, Admit: func(context.Context) bool { return allowed.Load() }}
 	client, stop := newProxyClient(t, s)
 	defer stop()
 
@@ -222,7 +222,7 @@ func TestProxyDebugRouteBypassesAdmitGate(t *testing.T) {
 	mux.Handle("/debug/metrics", obs.Handler(reg))
 	s := &Server{
 		Dial:    &net.Dialer{},
-		Admit:   func() bool { return false },
+		Admit:   func(context.Context) bool { return false },
 		Metrics: NewMetrics(reg),
 		Debug:   mux,
 	}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"threegol/internal/clock"
+	"threegol/internal/obs/eventlog"
 )
 
 // Item is one unit of a transaction: an HLS segment, a photo, a file.
@@ -109,6 +110,15 @@ type Options struct {
 	// Metrics, when non-nil, receives per-path instrumentation (see
 	// NewMetrics); latencies are measured on Clock.
 	Metrics *Metrics
+	// Events, when non-nil, receives flight-recorder events: the
+	// transaction root span plus every assignment, attempt, retry,
+	// requeue, endgame duplicate and completion. The attempt span's
+	// TraceContext rides the transfer context, so instrumented paths
+	// (internal/transfer) extend the same trace.
+	Events *eventlog.Log
+	// Trace parents the transaction's root span — stitching it under a
+	// caller's span (e.g. a client request). Zero starts a new trace.
+	Trace eventlog.TraceContext
 }
 
 func (o Options) minAlpha() float64 {
@@ -181,6 +191,14 @@ func Run(ctx context.Context, algo Algo, items []Item, paths []Path, opts Option
 	}
 	clk := clock.Or(opts.Clock)
 	start := clk.Now()
+	tx := opts.Events.Begin(opts.Trace, "scheduler.transaction",
+		"algo", algo.String(),
+		"items", eventlog.Int(int64(len(items))),
+		"paths", eventlog.Int(int64(len(paths))))
+	if tx.Context().Valid() {
+		// Workers parent their spans to the transaction, not the caller.
+		opts.Trace = tx.Context()
+	}
 	var err error
 	switch algo {
 	case Greedy, Playout:
@@ -193,9 +211,11 @@ func Run(ctx context.Context, algo Algo, items []Item, paths []Path, opts Option
 		err = fmt.Errorf("scheduler: unknown algorithm %v", algo)
 	}
 	if err != nil {
+		tx.End("outcome", "error", "error", err.Error())
 		return nil, err
 	}
 	rep.Elapsed = clk.Since(start)
+	tx.End("outcome", "ok", "elapsed_s", eventlog.Float(rep.Elapsed.Seconds()))
 	return rep, nil
 }
 
@@ -234,6 +254,9 @@ func (t *tracker) complete(item Item, pathName string, bytes int64) bool {
 	cb := t.opts.OnItemDone
 	t.mu.Unlock()
 	t.opts.Metrics.completed(pathName, elapsed.Seconds())
+	t.opts.Events.Point(t.opts.Trace, "scheduler.item_done",
+		"item", eventlog.Int(int64(item.ID)), "path", pathName,
+		"elapsed_s", eventlog.Float(elapsed.Seconds()))
 	if cb != nil {
 		cb(item, elapsed)
 	}
@@ -319,14 +342,21 @@ func drainQueues(ctx context.Context, queues [][]Item, paths []Path, opts Option
 // estimation.
 func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk *tracker, onSample func(bytes int64, seconds float64)) error {
 	trk.opts.Metrics.assigned(p.Name())
+	ev, tc := trk.opts.Events, trk.opts.Trace
+	ev.Point(tc, "scheduler.assign",
+		"item", eventlog.Int(int64(it.ID)), "path", p.Name())
 	var lastErr error
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		t0 := trk.clk.Now()
-		n, err := p.Transfer(ctx, it)
+		sp := ev.Begin(tc, "scheduler.attempt",
+			"item", eventlog.Int(int64(it.ID)), "path", p.Name(),
+			"try", eventlog.Int(int64(attempt)))
+		n, err := p.Transfer(eventlog.NewContext(ctx, sp.Context()), it)
 		if err == nil {
+			sp.End("outcome", "ok", "bytes", eventlog.Int(n))
 			trk.complete(it, p.Name(), n)
 			if onSample != nil {
 				if secs := trk.clk.Since(t0).Seconds(); secs > 0 {
@@ -337,11 +367,18 @@ func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk
 		}
 		trk.addBytes(p.Name(), n)
 		if ctx.Err() != nil {
+			sp.End("outcome", "cancelled", "bytes", eventlog.Int(n))
 			return ctx.Err()
 		}
+		sp.End("outcome", "error", "bytes", eventlog.Int(n), "error", err.Error())
 		trk.opts.Metrics.retried(p.Name())
+		ev.Point(tc, "scheduler.retry",
+			"item", eventlog.Int(int64(it.ID)), "path", p.Name(),
+			"try", eventlog.Int(int64(attempt)))
 		lastErr = err
 	}
+	ev.Point(tc, "scheduler.exhausted",
+		"item", eventlog.Int(int64(it.ID)), "path", p.Name())
 	return fmt.Errorf("scheduler: item %d (%s) failed on path %s after %d attempts: %w",
 		it.ID, it.Name, p.Name(), maxRetries, lastErr)
 }
@@ -620,8 +657,18 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 				item := f.item
 				mu.Unlock()
 				trk.opts.Metrics.assigned(p.Name())
+				ev, tc := trk.opts.Events, trk.opts.Trace
+				if takeIdx >= 0 {
+					ev.Point(tc, "scheduler.assign",
+						"item", eventlog.Int(int64(item.ID)), "path", p.Name())
+				} else {
+					ev.Point(tc, "scheduler.duplicate",
+						"item", eventlog.Int(int64(item.ID)), "path", p.Name())
+				}
+				sp := ev.Begin(tc, "scheduler.attempt",
+					"item", eventlog.Int(int64(item.ID)), "path", p.Name())
 
-				n, err := p.Transfer(tctx, item)
+				n, err := p.Transfer(eventlog.NewContext(tctx, sp.Context()), item)
 				// Record whether *our replica* was cancelled before we
 				// release the context (cancel() would make tctx.Err()
 				// non-nil unconditionally).
@@ -640,20 +687,25 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 						trk.addWaste(n)
 					}
 					if won {
+						sp.End("outcome", "ok", "bytes", eventlog.Int(n))
 						// Abort losing replicas; their partial bytes are
 						// accounted when their Transfer returns.
 						for _, c := range f.replicas {
 							c()
 						}
 						delete(inflight, item.ID)
+					} else {
+						sp.End("outcome", "lost_race", "bytes", eventlog.Int(n))
 					}
 					cond.Broadcast()
 				case replicaCancelled && ctx.Err() == nil:
 					// Cancelled because another replica won: waste.
+					sp.End("outcome", "cancelled", "bytes", eventlog.Int(n))
 					trk.addBytes(p.Name(), n)
 					trk.addWaste(n)
 					cond.Broadcast()
 				case ctx.Err() != nil:
+					sp.End("outcome", "cancelled", "bytes", eventlog.Int(n))
 					trk.addBytes(p.Name(), n)
 					mu.Unlock()
 					return ctx.Err()
@@ -661,20 +713,27 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 					// Genuine transfer failure: requeue unless the item
 					// completed elsewhere or every path has exhausted its
 					// retry budget for it.
+					sp.End("outcome", "error", "bytes", eventlog.Int(n), "error", err.Error())
 					trk.addBytes(p.Name(), n)
 					trk.opts.Metrics.retried(p.Name())
+					ev.Point(tc, "scheduler.retry",
+						"item", eventlog.Int(int64(item.ID)), "path", p.Name())
 					if !trk.isDone(item.ID) {
 						recordFail(item.ID, p.Name())
 						switch {
 						case exhaustedEverywhere(item.ID):
 							failed = fmt.Errorf("scheduler: item %d (%s) failed on every path: %w",
 								item.ID, item.Name, err)
+							ev.Point(tc, "scheduler.exhausted",
+								"item", eventlog.Int(int64(item.ID)), "path", p.Name())
 						case len(f.replicas) == 0:
 							// No other replica carries it: requeue so a
 							// path with remaining budget can take it.
 							delete(inflight, item.ID)
 							pending = append(pending, item)
 							trk.opts.Metrics.requeued()
+							ev.Point(tc, "scheduler.requeue",
+								"item", eventlog.Int(int64(item.ID)), "path", p.Name())
 						}
 					}
 					cond.Broadcast()

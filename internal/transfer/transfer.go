@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"threegol/internal/clock"
+	"threegol/internal/obs/eventlog"
 	"threegol/internal/scheduler"
 )
 
@@ -33,6 +34,11 @@ type DownloadPath struct {
 	// Metrics, when non-nil, receives transfer instrumentation (see
 	// NewMetrics); one Metrics may be shared across paths.
 	Metrics *Metrics
+	// Events, when non-nil, records a flight-recorder span per transfer,
+	// parented to the TraceContext riding ctx (the scheduler's attempt
+	// span). The trace also propagates on the request's X-3gol-Trace
+	// header, with or without a local log.
+	Events *eventlog.Log
 	// Clock times transfers for Metrics; nil selects the system clock.
 	Clock clock.Clock
 }
@@ -45,13 +51,17 @@ func (p *DownloadPath) Name() string { return p.PathName }
 func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64, err error) {
 	clk := clock.Or(p.Clock)
 	t0 := clk.Now()
+	tc, _ := eventlog.FromContext(ctx)
+	sp := p.Events.Begin(tc, "transfer.download", "item", item.Name, "path", p.PathName)
 	defer func() {
 		p.Metrics.done(dirDownload, n, err, ctx.Err() != nil, clk.Since(t0).Seconds())
+		sp.End("outcome", outcome(err, ctx), "bytes", eventlog.Int(n))
 	}()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, item.Name, nil)
 	if err != nil {
 		return 0, fmt.Errorf("transfer: building request for %s: %w", item.Name, err)
 	}
+	eventlog.InjectHTTP(req.Header, propagated(sp, tc))
 	resp, err := p.Client.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("transfer: GET %s via %s: %w", item.Name, p.PathName, err)
@@ -98,6 +108,10 @@ type UploadPath struct {
 	// Metrics, when non-nil, receives transfer instrumentation (see
 	// NewMetrics); one Metrics may be shared across paths.
 	Metrics *Metrics
+	// Events, when non-nil, records a flight-recorder span per transfer,
+	// parented to the TraceContext riding ctx; the trace also propagates
+	// on the POST's X-3gol-Trace header.
+	Events *eventlog.Log
 	// Clock times transfers for Metrics; nil selects the system clock.
 	Clock clock.Clock
 }
@@ -110,8 +124,11 @@ func (p *UploadPath) Name() string { return p.PathName }
 func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64, err error) {
 	clk := clock.Or(p.Clock)
 	t0 := clk.Now()
+	tc, _ := eventlog.FromContext(ctx)
+	sp := p.Events.Begin(tc, "transfer.upload", "item", item.Name, "path", p.PathName)
 	defer func() {
 		p.Metrics.done(dirUpload, n, err, ctx.Err() != nil, clk.Since(t0).Seconds())
+		sp.End("outcome", outcome(err, ctx), "bytes", eventlog.Int(n))
 	}()
 	if p.Source == nil {
 		return 0, fmt.Errorf("transfer: UploadPath %s has no Source", p.PathName)
@@ -149,6 +166,7 @@ func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64
 		return 0, fmt.Errorf("transfer: building POST for %s: %w", item.Name, err)
 	}
 	req.Header.Set("Content-Type", mw.FormDataContentType())
+	eventlog.InjectHTTP(req.Header, propagated(sp, tc))
 	resp, err := p.Client.Do(req)
 	if err != nil {
 		pr.Close()
@@ -166,6 +184,31 @@ func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64
 			item.Name, p.PathName, resp.Status)
 	}
 	return counter.count(), nil
+}
+
+// outcome classifies a finished transfer for the flight recorder,
+// preferring cancellation (the endgame losing-replica case) over a
+// generic error.
+func outcome(err error, ctx context.Context) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case ctx.Err() != nil:
+		return "cancelled"
+	default:
+		return "error"
+	}
+}
+
+// propagated picks the trace position to stamp on the outgoing request:
+// the local transfer span when a log is wired, else the caller's
+// context — so traces cross the proxy boundary even on uninstrumented
+// paths.
+func propagated(sp eventlog.Span, tc eventlog.TraceContext) eventlog.TraceContext {
+	if c := sp.Context(); c.Valid() {
+		return c
+	}
+	return tc
 }
 
 type countingReader struct {

@@ -15,6 +15,8 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+
+	"threegol/internal/obs/eventlog"
 )
 
 // File is one stored upload.
@@ -40,6 +42,10 @@ type Server struct {
 	// Metrics, when non-nil, receives request/file/byte instrumentation
 	// (see NewMetrics).
 	Metrics *Metrics
+	// Events, when non-nil, records a flight-recorder span per upload
+	// request, parented to the sender's X-3gol-Trace header — the
+	// server-side end of a traced photo upload.
+	Events *eventlog.Log
 
 	mu       sync.Mutex
 	files    map[string]*File
@@ -69,19 +75,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveUpload(w http.ResponseWriter, r *http.Request) {
+	tc, _ := eventlog.ExtractHTTP(r.Header)
+	sp := s.Events.Begin(tc, "upload.request")
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes())
 	mr, err := r.MultipartReader()
 	if err != nil {
+		sp.End("outcome", "error", "error", err.Error())
 		http.Error(w, fmt.Sprintf("expected multipart/form-data: %v", err), http.StatusBadRequest)
 		return
 	}
 	var stored []string
+	var total int64
+	dups := 0
 	for {
 		part, err := mr.NextPart()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			sp.End("outcome", "error", "error", err.Error())
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -100,22 +112,30 @@ func (s *Server) serveUpload(w http.ResponseWriter, r *http.Request) {
 			n, err = io.Copy(h, part)
 		}
 		if err != nil {
+			sp.End("outcome", "error", "error", err.Error())
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.record(name, n, hex.EncodeToString(h.Sum(nil)), payload)
+		if s.record(name, n, hex.EncodeToString(h.Sum(nil)), payload) {
+			dups++
+		}
+		total += n
 		stored = append(stored, name)
 	}
 	if len(stored) == 0 {
+		sp.End("outcome", "error", "error", "no file parts")
 		http.Error(w, "no file parts in request", http.StatusBadRequest)
 		return
 	}
 	s.Metrics.request()
+	sp.End("outcome", "ok", "files", eventlog.Int(int64(len(stored))),
+		"bytes", eventlog.Int(total), "duplicates", eventlog.Int(int64(dups)))
 	w.WriteHeader(http.StatusCreated)
 	_ = json.NewEncoder(w).Encode(map[string]any{"stored": stored}) // client disconnect; nothing to do
 }
 
-func (s *Server) record(name string, size int64, digest string, payload []byte) {
+// record stores one file, reporting whether it was a duplicate replay.
+func (s *Server) record(name string, size int64, digest string, payload []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.files == nil {
@@ -126,7 +146,7 @@ func (s *Server) record(name string, size int64, digest string, payload []byte) 
 	if f, ok := s.files[name]; ok {
 		f.Copies++
 		s.Metrics.stored(size, true)
-		return
+		return true
 	}
 	s.Metrics.stored(size, false)
 	s.files[name] = &File{Name: name, Size: size, SHA256: digest, Copies: 1}
@@ -136,6 +156,7 @@ func (s *Server) record(name string, size int64, digest string, payload []byte) 
 		}
 		s.payloads[name] = payload
 	}
+	return false
 }
 
 // Stats is the JSON shape of GET /stats.

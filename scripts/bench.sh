@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# bench.sh — the repo's performance trajectory snapshot. Runs the fast
+# simulation-path benchmarks and writes BENCH_fleet.json at the repo
+# root so successive PRs can diff engine throughput:
+#
+#   1. 3golfleet -json            — city-scale engine run (wall time,
+#      homes/sec, evaluation aggregates)
+#   2. 3golbench fig11a -json     — the speedup-CDF experiment's wall
+#      time and headline metrics
+#   3. BenchmarkFleetThroughput   — go test -bench engine scaling
+#      (homes/s at shard widths 1, 4, NumCPU)
+#
+# Only simulation-path work runs here: the prototype-path experiments
+# (fig6–fig9) drive real sockets for seconds per rep and belong to
+# manual runs, not the perf trajectory.
+#
+# Usage: ./scripts/bench.sh   (from anywhere; cd's to the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+command -v jq > /dev/null || { echo "bench.sh: jq is required to compose BENCH_fleet.json" >&2; exit 1; }
+
+fleet=$(mktemp)
+sim=$(mktemp)
+bench=$(mktemp)
+tput=$(mktemp)
+trap 'rm -f "$fleet" "$sim" "$bench" "$tput"' EXIT
+
+echo '==> 3golfleet -json (engine throughput + aggregates)'
+go run ./cmd/3golfleet -homes 18000 -days 1 -shards 8 -json > "$fleet"
+go run ./cmd/3golfleet -validate < "$fleet"
+
+echo '==> 3golbench fig11a -json'
+go run ./cmd/3golbench fig11a -json > "$sim"
+
+echo '==> go test -bench BenchmarkFleetThroughput'
+go test -run '^$' -bench '^BenchmarkFleetThroughput$' -benchtime 1x . | tee "$bench"
+
+# Reduce the go-test bench lines to {name, homes_per_sec} records: the
+# custom homes/s metric precedes its unit token.
+awk '
+    /^BenchmarkFleetThroughput/ {
+        hs = ""
+        for (i = 1; i <= NF; i++) if ($i == "homes/s") hs = $(i-1)
+        if (hs != "") printf "{\"name\":\"%s\",\"homes_per_sec\":%s}\n", $1, hs
+    }' "$bench" > "$tput"
+
+jq -n \
+    --slurpfile fleet "$fleet" \
+    --slurpfile sim "$sim" \
+    --slurpfile tput "$tput" \
+    '{generated_by: "scripts/bench.sh",
+      fleet_throughput: $tput,
+      fleet_report: $fleet[0],
+      fig11a: $sim[0]}' > BENCH_fleet.json
+
+echo "bench.sh: wrote BENCH_fleet.json"

@@ -9,7 +9,9 @@
 #   5. go test -race — full suite under the race detector
 #   6. fleet smoke — 3golfleet city-scale engine run inside a time
 #      budget, with its -json report validated for shape
-#   7. metrics docs — METRICS.md must match the live registry
+#   7. trace smoke — 3golfleet -events flight-recorder capture piped
+#      through 3goltrace -check (stream invariants)
+#   8. metrics docs — METRICS.md must match the live registry
 #      (3golobs gen-docs -check)
 #
 # Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
@@ -48,9 +50,18 @@ echo '==> fleet smoke (3golfleet -json inside a time budget)'
 # report that -validate accepts (malformed JSON or out-of-range metrics
 # fail the gate).
 smoke=$(mktemp)
-trap 'rm -f "$smoke"' EXIT
+events=$(mktemp)
+trap 'rm -f "$smoke" "$events"' EXIT
 timeout 180 go run ./cmd/3golfleet -homes 2000 -days 1 -shards 4 -json > "$smoke"
 go run ./cmd/3golfleet -validate < "$smoke"
+
+echo '==> trace smoke (3golfleet -events | 3goltrace -check)'
+# The flight recorder must capture a small run and the stream must pass
+# the analyzer's structural invariants (per-shard ordering, span
+# pairing) — the same stream internal/fleet pins byte-identical across
+# worker counts.
+timeout 180 go run ./cmd/3golfleet -homes 500 -days 1 -shards 4 -events "$events" > /dev/null
+go run ./cmd/3goltrace -check "$events"
 
 echo '==> metrics docs (3golobs gen-docs -check)'
 # METRICS.md is rendered from the live metric registry; adding, renaming
