@@ -12,6 +12,16 @@
 // non-zero if it is malformed — the CI smoke gate. With -events FILE the
 // run also records the deterministic flight recorder and writes the
 // merged event log as JSON Lines for cmd/3goltrace.
+//
+// With -chaos SCENARIO the command runs the chaos harness instead: every
+// home executes one virtual-time transaction under the named fault
+// scenario (see internal/fault) and the merged report asserts the
+// resilience invariants — exactly-once delivery, the (N−1)·Sm
+// duplicate-waste bound, and 100% completion over ADSL when every phone
+// is dead. The exit status is non-zero if any invariant broke, so the
+// command doubles as the CI chaos gate:
+//
+//	3golfleet -chaos hostile -homes 64 -seed 1 -json
 package main
 
 import (
@@ -23,7 +33,9 @@ import (
 	"runtime"
 	"time"
 
+	"threegol/internal/fault"
 	"threegol/internal/fleet"
+	"threegol/internal/obs/eventlog"
 )
 
 // fleetReport is the -json document: the engine's evaluation report plus
@@ -52,8 +64,14 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "run with obs instrumentation and dump the merged registry")
 		events   = flag.String("events", "", "run with the flight recorder and write the merged event log (JSONL) to this file; \"-\" = stdout")
 		validate = flag.Bool("validate", false, "validate a -json report read from stdin and exit")
+		chaos    = flag.String("chaos", "", "run the chaos harness under this fault scenario instead of the fleet simulation (\"list\" prints the catalogue)")
 	)
 	flag.Parse()
+
+	if *chaos != "" {
+		runChaos(*chaos, *homes, *shards, *seed, *workers, *asJSON, *events)
+		return
+	}
 
 	if *validate {
 		if err := validateReport(os.Stdin); err != nil {
@@ -75,7 +93,7 @@ func main() {
 	wall := time.Since(start) //3golvet:allow wallclock — measuring real engine throughput
 
 	if *events != "" {
-		if err := writeEvents(res, *events); err != nil {
+		if err := writeEventLog(res.EventLog(), *events); err != nil {
 			fmt.Fprintln(os.Stderr, "3golfleet: writing events:", err)
 			os.Exit(1)
 		}
@@ -115,11 +133,93 @@ func main() {
 	}
 }
 
-// writeEvents dumps the merged flight-recorder stream as JSON Lines —
+// chaosReport is the -chaos -json document.
+type chaosReport struct {
+	Experiment string  `json:"experiment"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	Seed       int64   `json:"seed"`
+	WallSecs   float64 `json:"wall_seconds"`
+	Healthy    bool    `json:"healthy"`
+	fleet.ChaosReport
+}
+
+// runChaos executes the chaos harness and exits non-zero when any
+// resilience invariant broke — the CI chaos gate.
+func runChaos(scenario string, homes, shards int, seed int64, workers int, asJSON bool, events string) {
+	if scenario == "list" {
+		for _, s := range fault.Scenarios() {
+			fmt.Println(s)
+		}
+		return
+	}
+	sc, err := fault.ParseScenario(scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3golfleet:", err)
+		fmt.Fprintln(os.Stderr, "3golfleet: known scenarios:", fault.Scenarios())
+		os.Exit(2)
+	}
+	cfg := fleet.ChaosConfig{Homes: homes, Shards: shards, Seed: seed,
+		Scenario: sc, Events: events != ""}
+	start := time.Now() //3golvet:allow wallclock — measuring real engine throughput
+	res, err := fleet.RunChaos(cfg, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3golfleet:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start) //3golvet:allow wallclock — measuring real engine throughput
+	if events != "" {
+		if err := writeEventLog(res.EventLog(), events); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: writing events:", err)
+			os.Exit(1)
+		}
+	}
+	rep := chaosReport{
+		Experiment:  "chaos",
+		Shards:      shards,
+		Workers:     workers,
+		Seed:        seed,
+		WallSecs:    wall.Seconds(),
+		ChaosReport: res.Report(sc),
+	}
+	rep.Healthy = rep.ChaosReport.Healthy()
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet:", err)
+			os.Exit(1)
+		}
+	} else {
+		printChaos(rep)
+	}
+	if !rep.Healthy {
+		fmt.Fprintln(os.Stderr, "3golfleet: chaos invariants violated")
+		os.Exit(1)
+	}
+}
+
+func printChaos(rep chaosReport) {
+	fmt.Printf("chaos: scenario %s, %d homes, %d shards on %d workers, seed %d (%.2fs wall)\n",
+		rep.Scenario, rep.Homes, rep.Shards, rep.Workers, rep.Seed, rep.WallSecs)
+	fmt.Printf("  delivery   %d/%d items (adsl %d, phones %d), %d failed transactions\n",
+		rep.Delivered, rep.Items, rep.ADSLItems, rep.PhoneItems, rep.Failed)
+	fmt.Printf("  resilience %d requeues, %d duplicates, %d stall aborts, %d breaker opens\n",
+		rep.Requeues, rep.Duplicates, rep.StallAborts, rep.BreakerOpens)
+	fmt.Printf("  waste      %d duplicate bytes (worst completion %d), %d failure bytes; mean elapsed %.1fs\n",
+		rep.DuplicateWaste, rep.MaxComplWaste, rep.FailureWaste, rep.MeanElapsedSecs)
+	verdict := "all invariants held"
+	if !rep.Healthy {
+		verdict = fmt.Sprintf("VIOLATIONS: %d not-exactly-once, %d waste-bound",
+			rep.NotExactlyOnce, rep.WasteBoundBreak)
+	}
+	fmt.Printf("  invariants %s\n", verdict)
+}
+
+// writeEventLog dumps a merged flight-recorder stream as JSON Lines —
 // the capture surface cmd/3goltrace ingests. The bytes depend only on
 // the run config, never on -workers.
-func writeEvents(res *fleet.Result, dest string) error {
-	log := res.EventLog()
+func writeEventLog(log *eventlog.Log, dest string) error {
 	if dest == "-" {
 		return log.WriteJSONL(os.Stdout)
 	}

@@ -16,6 +16,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"threegol/internal/clock"
 )
 
 // Announcement is one device's advertisement.
@@ -141,6 +143,10 @@ type Browser struct {
 	// Metrics, when non-nil, receives announcement/churn instrumentation
 	// (see NewMetrics).
 	Metrics *Metrics
+	// Clock ages entries for TTL expiry; nil selects the system clock.
+	// Tests inject a fake to pin sweeps to exact instants around the
+	// TTL boundary.
+	Clock clock.Clock
 
 	mu      sync.Mutex
 	conn    *net.UDPConn
@@ -196,13 +202,14 @@ func (br *Browser) receive(conn *net.UDPConn) {
 	}
 }
 
-// record stamps an announcement with its wall-clock arrival time; beacon
-// liveness is a real-network protocol, not simulated time.
+// record stamps an announcement with its arrival time on the browser's
+// clock; beacon liveness is a real-network protocol, so this is wall
+// time in production and a fake only in tests.
 func (br *Browser) record(ann Announcement) {
 	br.mu.Lock()
 	defer br.mu.Unlock()
 	if !br.closed {
-		br.entries[ann.Name] = entry{ann: ann, seen: time.Now()} //3golvet:allow wallclock
+		br.entries[ann.Name] = entry{ann: ann, seen: clock.Or(br.Clock).Now()}
 		br.Metrics.received()
 	}
 }
@@ -215,11 +222,15 @@ func (br *Browser) ttl() time.Duration {
 }
 
 // Devices returns the announcements seen within TTL — the admissible set
-// Φ at this instant.
+// Φ at this instant. The cutoff is read once per sweep, so every entry
+// is judged against the same instant: a device flapping around the TTL
+// boundary cannot oscillate in and out of Φ within one sweep, and each
+// genuine expiry deletes the entry (and bumps the expiry counter)
+// exactly once.
 func (br *Browser) Devices() []Announcement {
 	br.mu.Lock()
 	defer br.mu.Unlock()
-	cutoff := time.Now().Add(-br.ttl()) //3golvet:allow wallclock — TTLs age in wall time
+	cutoff := clock.Or(br.Clock).Now().Add(-br.ttl())
 	out := make([]Announcement, 0, len(br.entries))
 	expired := 0
 	for name, e := range br.entries {

@@ -2,9 +2,12 @@ package discovery
 
 import (
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"threegol/internal/obs"
 )
 
 func fixedAnnounce(name, addr string) func() (Announcement, bool) {
@@ -215,4 +218,89 @@ func TestRefreshUpdatesAllowance(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Error("refreshed allowance never observed")
+}
+
+// fakeClock is a settable clock.Clock for TTL-boundary tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c *fakeClock) Sleep(d time.Duration) { c.advance(d) }
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBrowserFlapAroundTTLBoundary(t *testing.T) {
+	// A device flapping around the TTL boundary must not oscillate Φ
+	// within one sweep (the cutoff is read once per Devices call), and
+	// each genuine expiry must bump discovery_entries_expired_total
+	// exactly once — not once per subsequent sweep.
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	br := &Browser{TTL: time.Second, Metrics: m, Clock: clk}
+	br.init(nil)
+	expired := func() int64 { return m.Expired.With().Value() }
+
+	ann := func(name string) Announcement {
+		return Announcement{Name: name, ProxyAddr: name + ":8080"}
+	}
+	br.record(ann("kitchen"))
+	br.record(ann("hall"))
+
+	// Just inside the TTL: both visible, nothing expired.
+	clk.advance(time.Second - time.Millisecond)
+	if got := len(br.Devices()); got != 2 {
+		t.Fatalf("Φ = %d devices inside TTL; want 2", got)
+	}
+	if got := expired(); got != 0 {
+		t.Fatalf("expired = %d before any TTL lapse", got)
+	}
+
+	// hall refreshes at the boundary; kitchen stays silent and crosses
+	// it. One sweep: hall in, kitchen out, exactly one expiry.
+	br.record(ann("hall"))
+	clk.advance(2 * time.Millisecond)
+	devs := br.Devices()
+	if len(devs) != 1 || devs[0].Name != "hall" {
+		t.Fatalf("Φ after kitchen lapsed = %+v; want just hall", devs)
+	}
+	if got := expired(); got != 1 {
+		t.Fatalf("expired = %d after one genuine lapse; want exactly 1", got)
+	}
+
+	// Re-sweeping must not recount the already-deleted entry.
+	if got := len(br.Devices()); got != 1 {
+		t.Fatalf("second sweep Φ = %d; want 1", got)
+	}
+	if got := expired(); got != 1 {
+		t.Fatalf("expired = %d after re-sweep; a dead entry was double-counted", got)
+	}
+
+	// kitchen flaps back in...
+	br.record(ann("kitchen"))
+	if got := len(br.Devices()); got != 2 {
+		t.Fatalf("Φ after kitchen returned = %d; want 2", got)
+	}
+	// ...then everything falls silent past the TTL: two more expiries
+	// (kitchen again + hall), each counted once.
+	clk.advance(time.Second + time.Millisecond)
+	if got := len(br.Devices()); got != 0 {
+		t.Fatalf("Φ after total silence = %d; want 0", got)
+	}
+	if got := expired(); got != 3 {
+		t.Fatalf("expired = %d; want 3 (each genuine expiry exactly once)", got)
+	}
 }

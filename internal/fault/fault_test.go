@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPlanQueries(t *testing.T) {
+	p := NewPlan(
+		Window{Target: "phone1", Kind: Blackout, Start: 2, End: 4},
+		Window{Target: "phone1", Kind: Stall, Start: 6, End: 9},
+		Window{Target: "phone2", Kind: Revoke, Start: 1, End: 3},
+		Window{Target: "phone1", Kind: Reset, Start: 0.5, End: 1},
+		Window{Target: "", Kind: Blackout, Start: 0, End: 1},    // dropped: empty target
+		Window{Target: "phone1", Kind: Stall, Start: 5, End: 5}, // dropped: empty window
+	)
+
+	if got := p.Targets(); !reflect.DeepEqual(got, []string{"phone1", "phone2"}) {
+		t.Fatalf("Targets = %v", got)
+	}
+	ws := p.Windows("phone1")
+	if len(ws) != 3 || ws[0].Kind != Reset || ws[1].Kind != Blackout || ws[2].Kind != Stall {
+		t.Fatalf("Windows(phone1) not sorted by start: %+v", ws)
+	}
+
+	if !p.DeadAt("phone1", 3) {
+		t.Errorf("phone1 should be dead at t=3 (blackout)")
+	}
+	if p.DeadAt("phone1", 4) {
+		t.Errorf("windows are half-open: t=4 is outside [2,4)")
+	}
+	if !p.ResetAt("phone1", 0.75) {
+		t.Errorf("phone1 should reset at t=0.75")
+	}
+	if until, ok := p.StalledAt("phone1", 7); !ok || until != 9 {
+		t.Errorf("StalledAt(phone1, 7) = %v, %v; want 9, true", until, ok)
+	}
+	if !p.RevokedAt("phone2", 2) {
+		t.Errorf("phone2 should be revoked at t=2")
+	}
+	if p.AdmissibleAt("phone2", 2) {
+		t.Errorf("revoked target must not be admissible")
+	}
+	if !p.AdmissibleAt("phone1", 7) {
+		t.Errorf("a stall does not bar admission")
+	}
+
+	if next := p.NextDisruption("phone1", 1.5); next != 2 {
+		t.Errorf("NextDisruption(phone1, 1.5) = %v; want 2", next)
+	}
+	if next := p.NextDisruption("phone1", 10); !math.IsInf(next, 1) {
+		t.Errorf("NextDisruption past the last window = %v; want +Inf", next)
+	}
+	if next := p.NextDisruption("phone2", 0, Blackout); !math.IsInf(next, 1) {
+		t.Errorf("kind-filtered NextDisruption = %v; want +Inf", next)
+	}
+
+	// Nil plans answer every query harmlessly.
+	var nilPlan *Plan
+	if nilPlan.DeadAt("x", 0) || len(nilPlan.Targets()) != 0 {
+		t.Errorf("nil plan must report no faults")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	targets := []string{"phone1", "phone2", "phone3"}
+	for _, sc := range Scenarios() {
+		a, err := Compile(sc, 42, targets, 60)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", sc, err)
+		}
+		b, err := Compile(sc, 42, targets, 60)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", sc, err)
+		}
+		for _, tg := range targets {
+			if !reflect.DeepEqual(a.Windows(tg), b.Windows(tg)) {
+				t.Errorf("%s: windows for %s differ between identical compiles", sc, tg)
+			}
+		}
+	}
+	// Different seeds must diverge for the randomised scenarios.
+	a := MustCompile(ScenarioFlaky, 1, targets, 60)
+	b := MustCompile(ScenarioFlaky, 2, targets, 60)
+	if reflect.DeepEqual(a.Windows("phone1"), b.Windows("phone1")) {
+		t.Errorf("flaky: seeds 1 and 2 produced identical windows")
+	}
+}
+
+func TestCompileBlackoutAll(t *testing.T) {
+	p := MustCompile(ScenarioBlackoutAll, 7, []string{"phone1", "phone2"}, 30)
+	for _, tg := range []string{"phone1", "phone2"} {
+		ws := p.Windows(tg)
+		if len(ws) != 1 || ws[0].Kind != Blackout || ws[0].Start != 0 || !math.IsInf(ws[0].End, 1) {
+			t.Fatalf("%s: want one eternal blackout, got %+v", tg, ws)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	if s, err := ParseScenario("hostile"); err != nil || s != ScenarioHostile {
+		t.Fatalf("ParseScenario(hostile) = %v, %v", s, err)
+	}
+	if _, err := ParseScenario("nope"); err == nil {
+		t.Fatalf("ParseScenario(nope) should fail")
+	}
+}
+
+func TestMixSeedSpreads(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[MixSeed(99, i, i*31)] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("MixSeed collisions: %d distinct of 64", len(seen))
+	}
+}
+
+func TestGate(t *testing.T) {
+	p := NewPlan(Window{Target: "phone1", Kind: Revoke, Start: 1, End: 2})
+	now := 0.0
+	g := p.Gate("phone1", func() float64 { return now })
+	if !g() {
+		t.Fatalf("admissible before the window")
+	}
+	now = 1.5
+	if g() {
+		t.Fatalf("revoked inside the window")
+	}
+	now = 2
+	if !g() {
+		t.Fatalf("admissible after the window")
+	}
+}

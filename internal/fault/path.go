@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"threegol/internal/clock"
+	"threegol/internal/scheduler"
+)
+
+// Error is the error surfaced by injected faults, carrying the target
+// and the fault kind so tests and log readers can tell an injected
+// blackout from a genuine transport failure.
+type Error struct {
+	Target string
+	Kind   Kind
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s on %s", e.Kind, e.Target)
+}
+
+// Injected reports whether err (or anything it wraps) is an injected
+// fault.
+func Injected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// Path decorates a scheduler.Path with a fault plan: transfers die
+// during blackout/depart/reset windows (including mid-transfer, via a
+// watcher that cancels the attempt when a window opens), and stall
+// windows active at admission hold the transfer silently — no bytes, no
+// error — which is exactly what the scheduler's progress watchdog must
+// catch. Mid-stream stalls are injected one layer down by Conn, which
+// owns the byte stream.
+//
+// Wall time maps to plan time as seconds since epoch on the injected
+// clock, so the same Plan drives this decorator and the virtual-time
+// Simulate.
+type Path struct {
+	inner  scheduler.Path
+	plan   *Plan
+	target string
+	clk    clock.Clock
+	epoch  time.Time
+}
+
+// WrapPath decorates inner with plan, faulting under inner's own name
+// as the target. Plan time 0 is epoch on clk (nil clk selects the
+// system clock). When inner also implements scheduler.ProgressPath the
+// returned path does too, so the stall watchdog stays engaged through
+// the decorator.
+func WrapPath(inner scheduler.Path, plan *Plan, epoch time.Time, clk clock.Clock) scheduler.Path {
+	p := &Path{inner: inner, plan: plan, target: inner.Name(), clk: clock.Or(clk), epoch: epoch}
+	if pi, ok := inner.(scheduler.ProgressPath); ok {
+		return &progressPath{Path: p, pinner: pi}
+	}
+	return p
+}
+
+// Name implements scheduler.Path.
+func (p *Path) Name() string { return p.inner.Name() }
+
+// now is the current plan time.
+func (p *Path) now() float64 { return p.clk.Since(p.epoch).Seconds() }
+
+// Transfer implements scheduler.Path.
+func (p *Path) Transfer(ctx context.Context, it scheduler.Item) (int64, error) {
+	return p.transfer(ctx, func(c context.Context) (int64, error) {
+		return p.inner.Transfer(c, it)
+	})
+}
+
+func (p *Path) transfer(ctx context.Context, run func(context.Context) (int64, error)) (int64, error) {
+	t := p.now()
+	if w, ok := p.plan.ActiveAt(p.target, t, Blackout, Depart, Reset); ok {
+		return 0, &Error{Target: p.target, Kind: w.Kind}
+	}
+	if until, ok := p.plan.StalledAt(p.target, t); ok {
+		// Silent admission stall: hold without error until the window
+		// closes or the caller gives up (the watchdog's job).
+		if !p.sleepUntil(ctx, until) {
+			return 0, ctx.Err()
+		}
+	}
+
+	// Watch for a disruption window opening mid-transfer; the injected
+	// error replaces the cancellation error so callers see the fault.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex
+	var injected error
+	done := make(chan struct{})
+	go p.watch(wctx, done, func(e error) {
+		mu.Lock()
+		injected = e
+		mu.Unlock()
+		cancel()
+	})
+	n, err := run(wctx)
+	close(done)
+	mu.Lock() //3golvet:allow locksafe — two-line read of the kill slot; deferring would hold it across return
+	ie := injected
+	mu.Unlock()
+	if ie != nil && err != nil && ctx.Err() == nil {
+		err = ie
+	}
+	return n, err
+}
+
+// watch kills the attempt when a blackout/depart/reset window opens.
+func (p *Path) watch(ctx context.Context, done <-chan struct{}, kill func(error)) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		t := p.now()
+		if w, ok := p.plan.ActiveAt(p.target, t, Blackout, Depart, Reset); ok {
+			kill(&Error{Target: p.target, Kind: w.Kind})
+			return
+		}
+		next := p.plan.NextDisruption(p.target, t, Blackout, Depart, Reset)
+		if math.IsInf(next, 1) {
+			return
+		}
+		p.sleepChunk(time.Duration((next - t) * float64(time.Second)))
+	}
+}
+
+// sleepChunk sleeps toward a boundary in small slices so the watcher
+// notices completion promptly.
+func (p *Path) sleepChunk(d time.Duration) {
+	const slice = 10 * time.Millisecond
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if d > slice {
+		d = slice
+	}
+	p.clk.Sleep(d)
+}
+
+// sleepUntil sleeps to plan time `until`, reporting false when ctx died
+// first.
+func (p *Path) sleepUntil(ctx context.Context, until float64) bool {
+	for {
+		if ctx.Err() != nil {
+			return false
+		}
+		rem := until - p.now()
+		if rem <= 0 {
+			return true
+		}
+		p.sleepChunk(time.Duration(rem * float64(time.Second)))
+	}
+}
+
+// progressPath is the ProgressPath-preserving variant of Path.
+type progressPath struct {
+	*Path
+	pinner scheduler.ProgressPath
+}
+
+// TransferProgress implements scheduler.ProgressPath.
+func (p *progressPath) TransferProgress(ctx context.Context, it scheduler.Item, progress func(total int64)) (int64, error) {
+	return p.transfer(ctx, func(c context.Context) (int64, error) {
+		return p.pinner.TransferProgress(c, it, progress)
+	})
+}

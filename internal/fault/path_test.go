@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"threegol/internal/scheduler"
+)
+
+// slowPath is a scheduler.Path whose transfer takes a fixed duration
+// and respects cancellation, reporting proportional partial bytes.
+type slowPath struct {
+	name string
+	d    time.Duration
+	size int64
+}
+
+func (p *slowPath) Name() string { return p.name }
+
+func (p *slowPath) Transfer(ctx context.Context, it scheduler.Item) (int64, error) {
+	start := time.Now()
+	select {
+	case <-time.After(p.d):
+		return p.size, nil
+	case <-ctx.Done():
+		frac := float64(time.Since(start)) / float64(p.d)
+		return int64(frac * float64(p.size)), ctx.Err()
+	}
+}
+
+// progressSlowPath additionally implements scheduler.ProgressPath.
+type progressSlowPath struct{ slowPath }
+
+func (p *progressSlowPath) TransferProgress(ctx context.Context, it scheduler.Item, progress func(int64)) (int64, error) {
+	progress(0)
+	return p.slowPath.Transfer(ctx, it)
+}
+
+func TestPathRefusesAtAdmission(t *testing.T) {
+	plan := NewPlan(Window{Target: "phone1", Kind: Blackout, Start: 0, End: Forever})
+	p := WrapPath(&slowPath{name: "phone1", d: time.Second, size: 100}, plan, time.Now(), nil)
+	n, err := p.Transfer(context.Background(), scheduler.Item{ID: 0, Name: "item0"})
+	if n != 0 || !Injected(err) {
+		t.Fatalf("Transfer = %d, %v; want 0 and an injected fault", n, err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != Blackout || fe.Target != "phone1" {
+		t.Fatalf("error detail = %+v", fe)
+	}
+	if p.Name() != "phone1" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestPathKillsMidTransfer(t *testing.T) {
+	// A reset window opens 60 ms in; the inner transfer would take
+	// 500 ms. The watcher must abort it with the injected error.
+	plan := NewPlan(Window{Target: "phone1", Kind: Reset, Start: 0.06, End: 10})
+	p := WrapPath(&slowPath{name: "phone1", d: 500 * time.Millisecond, size: 1000}, plan, time.Now(), nil)
+	start := time.Now()
+	_, err := p.Transfer(context.Background(), scheduler.Item{})
+	if !Injected(err) {
+		t.Fatalf("err = %v; want injected reset", err)
+	}
+	if d := time.Since(start); d > 400*time.Millisecond {
+		t.Fatalf("kill took %v; watcher too slow", d)
+	}
+}
+
+func TestPathAdmissionStall(t *testing.T) {
+	// A stall window covering admission holds the transfer silently,
+	// then lets it through.
+	plan := NewPlan(Window{Target: "phone1", Kind: Stall, Start: 0, End: 0.08})
+	p := WrapPath(&slowPath{name: "phone1", d: time.Millisecond, size: 7}, plan, time.Now(), nil)
+	start := time.Now()
+	n, err := p.Transfer(context.Background(), scheduler.Item{})
+	if err != nil || n != 7 {
+		t.Fatalf("Transfer = %d, %v", n, err)
+	}
+	if d := time.Since(start); d < 70*time.Millisecond {
+		t.Fatalf("stall window not honoured: transfer took %v", d)
+	}
+
+	// A cancelled caller escapes the hold with ctx.Err().
+	plan2 := NewPlan(Window{Target: "phone1", Kind: Stall, Start: 0, End: 30})
+	p2 := WrapPath(&slowPath{name: "phone1", d: time.Millisecond, size: 7}, plan2, time.Now(), nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := p2.Transfer(ctx, scheduler.Item{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want deadline exceeded", err)
+	}
+}
+
+func TestWrapPathPreservesProgress(t *testing.T) {
+	inner := &progressSlowPath{slowPath{name: "phone1", d: time.Millisecond, size: 3}}
+	wrapped := WrapPath(inner, NewPlan(), time.Now(), nil)
+	pp, ok := wrapped.(scheduler.ProgressPath)
+	if !ok {
+		t.Fatalf("progress capability lost through the decorator")
+	}
+	var seen bool
+	n, err := pp.TransferProgress(context.Background(), scheduler.Item{}, func(int64) { seen = true })
+	if err != nil || n != 3 || !seen {
+		t.Fatalf("TransferProgress = %d, %v (progress seen: %v)", n, err, seen)
+	}
+
+	// A plain Path must NOT grow the capability.
+	plain := WrapPath(&slowPath{name: "phone1"}, NewPlan(), time.Now(), nil)
+	if _, ok := plain.(scheduler.ProgressPath); ok {
+		t.Fatalf("plain path gained TransferProgress through the decorator")
+	}
+}
+
+func TestConnInjectsOnRead(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	plan := NewPlan(Window{Target: "phone1", Kind: Blackout, Start: 0, End: Forever})
+	c := WrapConn(client, plan, "phone1", time.Now(), nil)
+	buf := make([]byte, 8)
+	if _, err := c.Read(buf); !Injected(err) {
+		t.Fatalf("Read err = %v; want injected blackout", err)
+	}
+	if _, err := c.Write(buf); !Injected(err) {
+		t.Fatalf("Write err = %v; want injected blackout", err)
+	}
+}
+
+func TestConnStallDelays(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		buf := make([]byte, 8)
+		server.Read(buf)
+		server.Write([]byte("pong"))
+	}()
+	plan := NewPlan(Window{Target: "phone1", Kind: Stall, Start: 0, End: 0.08})
+	c := WrapConn(client, plan, "phone1", time.Now(), nil)
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if d := time.Since(start); d < 70*time.Millisecond {
+		t.Fatalf("stalled write returned after %v; want ≥ ~80ms", d)
+	}
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+}
+
+type fakeDialer struct{ conn net.Conn }
+
+func (d fakeDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	return d.conn, nil
+}
+
+func TestDialerRefusesDuringBlackout(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	dead := &Dialer{
+		Inner:  fakeDialer{conn: client},
+		Plan:   NewPlan(Window{Target: "phone1", Kind: Depart, Start: 0, End: Forever}),
+		Target: "phone1",
+		Epoch:  time.Now(),
+	}
+	if _, err := dead.DialContext(context.Background(), "tcp", "x"); !Injected(err) {
+		t.Fatalf("dial err = %v; want injected depart", err)
+	}
+
+	clean := &Dialer{Inner: fakeDialer{conn: client}, Plan: NewPlan(), Target: "phone1", Epoch: time.Now()}
+	conn, err := clean.DialContext(context.Background(), "tcp", "x")
+	if err != nil {
+		t.Fatalf("clean dial: %v", err)
+	}
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("dialer did not wrap the connection: %T", conn)
+	}
+}

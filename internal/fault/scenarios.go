@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Scenario names a fault schedule shape in the built-in catalog.
+// Scenarios are compiled, not interpreted: Compile expands one into a
+// concrete Plan for a target set, horizon, and seed, and from there
+// only the Plan matters.
+type Scenario string
+
+// The built-in scenario catalog. Every scenario faults only the
+// targets it is compiled with — the chaos harness passes the 3G path
+// names and never the ADSL path, which is how the graceful-degradation
+// guarantee ("all of Φ dead ⇒ the transaction still completes on ADSL
+// alone") stays testable under even the hostile scenario.
+const (
+	// ScenarioNone compiles to an empty plan — the control arm.
+	ScenarioNone Scenario = "none"
+	// ScenarioBlackoutAll blacks out every target for the whole
+	// horizon: Φ is dead from the first byte, ADSL carries everything.
+	ScenarioBlackoutAll Scenario = "blackout-all"
+	// ScenarioFlaky gives each target recurring short blackouts with
+	// seeded spacing — the "wireless variability" regime of §4.1.1.
+	ScenarioFlaky Scenario = "flaky"
+	// ScenarioResetStorm scatters bursts of mid-transfer connection
+	// resets across the horizon.
+	ScenarioResetStorm Scenario = "reset-storm"
+	// ScenarioStall freezes each target's byte stream for long
+	// windows without surfacing an error — watchdog bait.
+	ScenarioStall Scenario = "stall"
+	// ScenarioFlap makes each device depart and return on short
+	// cycles around a discovery-TTL-scale period.
+	ScenarioFlap Scenario = "flap"
+	// ScenarioRevokeStorm pulls permits in overlapping waves.
+	ScenarioRevokeStorm Scenario = "revoke-storm"
+	// ScenarioHostile layers flaky blackouts, resets, stalls, and
+	// revocations together — the everything-at-once edge.
+	ScenarioHostile Scenario = "hostile"
+)
+
+// Scenarios returns the catalog names in a fixed order, for -help text
+// and validation messages.
+func Scenarios() []Scenario {
+	return []Scenario{
+		ScenarioNone, ScenarioBlackoutAll, ScenarioFlaky, ScenarioResetStorm,
+		ScenarioStall, ScenarioFlap, ScenarioRevokeStorm, ScenarioHostile,
+	}
+}
+
+// ParseScenario validates a user-supplied scenario name.
+func ParseScenario(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if string(s) == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(Scenarios()))
+	for _, s := range Scenarios() {
+		names = append(names, string(s))
+	}
+	return "", fmt.Errorf("fault: unknown scenario %q (have: %s)", name, strings.Join(names, ", "))
+}
+
+// Compile expands a scenario into a concrete Plan over the given
+// targets and horizon (seconds). Each target draws from its own RNG
+// stream, seeded from (seed, target name), so adding or reordering
+// targets never perturbs another target's schedule — the same
+// stream-splitting discipline as the fleet engine's per-shard RNGs.
+func Compile(s Scenario, seed int64, targets []string, horizon float64) (*Plan, error) {
+	if horizon <= 0 && s != ScenarioNone && s != ScenarioBlackoutAll {
+		// Only the recurring scenarios need a horizon; "none" and
+		// "blackout-all" are horizon-free.
+		return nil, fmt.Errorf("fault: scenario %q needs a positive horizon, got %v", s, horizon)
+	}
+	gen, ok := generators[s]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown scenario %q", s)
+	}
+	var windows []Window
+	// Iterate a sorted copy so the plan is independent of caller order.
+	sorted := append([]string(nil), targets...)
+	sort.Strings(sorted)
+	for _, target := range sorted {
+		rng := rand.New(rand.NewSource(MixSeed(seed, len(target), int(hashTarget(target)))))
+		windows = append(windows, gen(rng, target, horizon)...)
+	}
+	return NewPlan(windows...), nil
+}
+
+// MustCompile is Compile for catalog scenarios known at compile time;
+// it panics on error (horizon misuse is a programming bug).
+func MustCompile(s Scenario, seed int64, targets []string, horizon float64) *Plan {
+	p, err := Compile(s, seed, targets, horizon)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// hashTarget folds a target name into the seed mix (FNV-1a 32-bit).
+func hashTarget(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+type generator func(rng *rand.Rand, target string, horizon float64) []Window
+
+var generators = map[Scenario]generator{
+	ScenarioNone: func(rng *rand.Rand, target string, horizon float64) []Window {
+		return nil
+	},
+	ScenarioBlackoutAll: func(rng *rand.Rand, target string, horizon float64) []Window {
+		return []Window{{Target: target, Kind: Blackout, Start: 0, End: Forever}}
+	},
+	ScenarioFlaky: func(rng *rand.Rand, target string, horizon float64) []Window {
+		// Short blackouts (0.5–2 s) spaced 3–10 s apart: the link is up
+		// most of the time but no long transfer survives untouched.
+		return recurring(rng, target, Blackout, horizon, 3, 10, 0.5, 2)
+	},
+	ScenarioResetStorm: func(rng *rand.Rand, target string, horizon float64) []Window {
+		// Dense bursts of reset windows: gaps 1–4 s, resets 0.2–1 s.
+		return recurring(rng, target, Reset, horizon, 1, 4, 0.2, 1)
+	},
+	ScenarioStall: func(rng *rand.Rand, target string, horizon float64) []Window {
+		// Long silent freezes (4–10 s) with 5–15 s of clean air between
+		// them — far past any sane stall timeout, so an unwatched
+		// attempt wedges.
+		return recurring(rng, target, Stall, horizon, 5, 15, 4, 10)
+	},
+	ScenarioFlap: func(rng *rand.Rand, target string, horizon float64) []Window {
+		// Departure/return cycles at discovery-TTL scale: gone 1–3 s,
+		// back 1–3 s.
+		return recurring(rng, target, Depart, horizon, 1, 3, 1, 3)
+	},
+	ScenarioRevokeStorm: func(rng *rand.Rand, target string, horizon float64) []Window {
+		// Overlapping revocation waves: permits vanish for 2–6 s with
+		// only 1–4 s of grace between waves.
+		return recurring(rng, target, Revoke, horizon, 1, 4, 2, 6)
+	},
+	ScenarioHostile: func(rng *rand.Rand, target string, horizon float64) []Window {
+		// Everything at once. Draw order is fixed (blackouts, resets,
+		// stalls, revocations) so the schedule is reproducible.
+		var ws []Window
+		ws = append(ws, recurring(rng, target, Blackout, horizon, 5, 15, 0.5, 2)...)
+		ws = append(ws, recurring(rng, target, Reset, horizon, 4, 12, 0.2, 1)...)
+		ws = append(ws, recurring(rng, target, Stall, horizon, 8, 20, 2, 6)...)
+		ws = append(ws, recurring(rng, target, Revoke, horizon, 10, 25, 2, 5)...)
+		return ws
+	},
+}
+
+// recurring draws gap/width pairs until the horizon is exhausted:
+// windows of kind k, widths uniform in [wLo, wHi), separated by gaps
+// uniform in [gLo, gHi). The first gap is drawn too, so faults don't
+// all begin at t=0.
+func recurring(rng *rand.Rand, target string, k Kind, horizon, gLo, gHi, wLo, wHi float64) []Window {
+	var ws []Window
+	t := 0.0
+	for {
+		t += gLo + rng.Float64()*(gHi-gLo)
+		if t >= horizon {
+			return ws
+		}
+		end := t + wLo + rng.Float64()*(wHi-wLo)
+		ws = append(ws, Window{Target: target, Kind: k, Start: t, End: end})
+		t = end
+	}
+}

@@ -1,0 +1,596 @@
+package fault
+
+// Virtual-time chaos simulation. The live scheduler (internal/scheduler)
+// is real-time and goroutine-concurrent, so its outputs are not
+// bit-stable across runs — fine for the prototype path, fatal for the
+// fleet engine's byte-identical-across-worker-counts contract. Simulate
+// is the bridge: a single-threaded discrete-event emulator of the
+// greedy (GRD) policy with the full resilience stack — per-(item,path)
+// retry budgets, requeue on failure, endgame duplication with replica
+// cancellation, deterministic backoff with seeded jitter, the stall
+// watchdog, and the per-path circuit breaker — all played against a
+// fault Plan on the same float64-seconds timeline the live decorators
+// use. No wall clock, no global rand, no goroutines: same config in,
+// same report out, bit for bit.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SimPath describes one path in a chaos simulation.
+type SimPath struct {
+	Name string
+	// Rate is the path's throughput in bytes per second of clean air
+	// (time outside every fault window).
+	Rate float64
+}
+
+// SimConfig drives Simulate. All times are virtual seconds on the
+// plan's timeline.
+type SimConfig struct {
+	Paths []SimPath
+	Items []int64 // item sizes in bytes
+	Plan  *Plan
+
+	// Resilience knobs, mirroring scheduler.Options:
+
+	// MaxRetries is the per-(item, path) attempt budget; 0 selects 3.
+	MaxRetries int
+	// DisableDuplication turns off the endgame.
+	DisableDuplication bool
+	// BackoffBase is the delay before a path's next attempt after a
+	// failure, growing exponentially with its failure streak; 0
+	// disables backoff.
+	BackoffBase float64
+	// BackoffMax caps the growth; 0 selects 32×Base.
+	BackoffMax float64
+	// Jitter widens each backoff by a uniform fraction in [0, Jitter)
+	// drawn from the seeded stream.
+	Jitter float64
+	// Seed seeds the jitter stream.
+	Seed int64
+	// StallTimeout aborts an attempt when a stall window holds it
+	// silent this long; 0 disables the watchdog (the attempt waits the
+	// stall out).
+	StallTimeout float64
+	// BreakerThreshold opens a path's breaker after this many
+	// consecutive failures; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the first hold; 0 selects 0.5. Re-openings
+	// double it up to BreakerMaxCooldown (0 selects 8× cooldown).
+	BreakerCooldown    float64
+	BreakerMaxCooldown float64
+}
+
+func (c SimConfig) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return 3
+	}
+	return c.MaxRetries
+}
+
+func (c SimConfig) backoffMax() float64 {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return 32 * c.BackoffBase
+}
+
+func (c SimConfig) breakerCooldown() float64 {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 0.5
+}
+
+func (c SimConfig) breakerMaxCooldown() float64 {
+	if c.BreakerMaxCooldown > 0 {
+		return c.BreakerMaxCooldown
+	}
+	return 8 * c.breakerCooldown()
+}
+
+// SimPathStats aggregates one path's activity in a SimReport.
+type SimPathStats struct {
+	Items        int   `json:"items"`
+	Bytes        int64 `json:"bytes"`
+	Failures     int   `json:"failures"`
+	Stalls       int   `json:"stalls"`
+	BreakerOpens int   `json:"breaker_opens"`
+}
+
+// SimReport is the outcome of one simulated chaos transaction.
+type SimReport struct {
+	// Completed counts items delivered; Delivered[i] counts item i's
+	// winning completions (exactly-once delivery ⇔ every entry is 1).
+	Completed int   `json:"completed"`
+	Delivered []int `json:"delivered"`
+	// Elapsed is the virtual time at which the transaction resolved.
+	Elapsed float64 `json:"elapsed_s"`
+	// DuplicateWaste counts bytes moved by replicas cancelled after
+	// losing the endgame race, cumulative over the whole transaction.
+	DuplicateWaste int64 `json:"duplicate_waste_bytes"`
+	// MaxCompletionWaste is the largest loser waste charged to any one
+	// item's completion — the quantity §4.1.1 bounds by (N−1)·Sm: at
+	// the instant an item completes, at most N−1 paths carried a losing
+	// replica, each ≤ Sm bytes in. (The cumulative DuplicateWaste can
+	// exceed that bound whenever requeues open a second endgame.)
+	MaxCompletionWaste int64 `json:"max_completion_waste_bytes"`
+	// FailureWaste counts bytes abandoned by failed or stall-aborted
+	// attempts (unbounded in principle: the price of a hostile edge).
+	FailureWaste int64                   `json:"failure_waste_bytes"`
+	Requeues     int                     `json:"requeues"`
+	Duplicates   int                     `json:"duplicates"`
+	StallAborts  int                     `json:"stall_aborts"`
+	BreakerOpens int                     `json:"breaker_opens"`
+	PerPath      map[string]SimPathStats `json:"per_path"`
+	// Failed is non-empty when some item exhausted its budget on every
+	// path and the transaction aborted.
+	Failed string `json:"failed,omitempty"`
+}
+
+// attempt outcomes inside the simulation.
+const (
+	attemptOK = iota
+	attemptKilled
+	attemptStalled
+)
+
+// breaker states, mirroring the scheduler's machine.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// walkAttempt plays one transfer attempt against the plan: from t0,
+// bytes flow at rate through clean air, freeze through stall windows
+// (aborting at t+StallTimeout when the watchdog is armed and the freeze
+// outlasts it), and die at the opening edge of a blackout/depart/reset
+// window.
+func walkAttempt(plan *Plan, target string, rate float64, size int64, t0, stallTimeout float64) (end float64, bytes int64, out int) {
+	t := t0
+	var moved float64
+	for {
+		if _, ok := plan.ActiveAt(target, t, Blackout, Depart, Reset); ok {
+			return t, int64(moved), attemptKilled
+		}
+		if w, ok := plan.ActiveAt(target, t, Stall); ok {
+			if stallTimeout > 0 && w.End-t >= stallTimeout {
+				return t + stallTimeout, int64(moved), attemptStalled
+			}
+			t = w.End
+			continue
+		}
+		next := plan.NextDisruption(target, t)
+		finish := t + (float64(size)-moved)/rate
+		if finish <= next {
+			return finish, size, attemptOK
+		}
+		moved += rate * (next - t)
+		t = next
+	}
+}
+
+// cleanBytes reports how many bytes an attempt started at t0 had moved
+// by tc (a cancellation instant strictly before its natural end).
+func cleanBytes(plan *Plan, target string, rate float64, size int64, t0, tc float64) int64 {
+	t := t0
+	var moved float64
+	for t < tc {
+		if _, ok := plan.ActiveAt(target, t, Blackout, Depart, Reset); ok {
+			break
+		}
+		if w, ok := plan.ActiveAt(target, t, Stall); ok {
+			t = math.Min(w.End, tc)
+			continue
+		}
+		next := math.Min(plan.NextDisruption(target, t), tc)
+		span := next - t
+		if need := (float64(size) - moved) / rate; need <= span {
+			moved = float64(size)
+			break
+		}
+		moved += rate * span
+		t = next
+	}
+	return int64(moved)
+}
+
+// ----- event queue -----
+
+const (
+	evIdle = iota
+	evResolve
+)
+
+type simEvent struct {
+	t    float64
+	seq  int // FIFO tie-break: identical times pop in push order
+	kind int
+	path int
+	att  *simAttempt
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type simAttempt struct {
+	item      int
+	path      int
+	start     float64
+	bytes     int64 // bytes at natural resolution
+	out       int
+	cancelled bool
+}
+
+type simFlight struct {
+	item     int
+	seq      int
+	replicas map[int]*simAttempt // path index → active attempt
+}
+
+type simState struct {
+	cfg  SimConfig
+	plan *Plan
+	rng  *rand.Rand
+	rep  *SimReport
+
+	events eventHeap
+	evSeq  int
+
+	pending   []int
+	flights   map[int]*simFlight
+	assignSeq int
+	doneItem  []bool
+	fails     [][]int // [item][path]
+	busy      []bool
+	// earliestIdle[p] is the backoff horizon: dispatches before it are
+	// ignored (the failure that set it already queued a wake there).
+	earliestIdle []float64
+	streak       []int // consecutive failures per path (backoff)
+
+	// breaker per path
+	brState  []int // breakerClosed/Open/HalfOpen (shared constants)
+	brConsec []int
+	brUntil  []float64
+	brHold   []float64
+
+	// lossByItem accumulates each item's completion-time loser waste
+	// (winner-cancelled replicas plus simultaneous-finish ties); its
+	// maximum is the §4.1.1-bounded MaxCompletionWaste.
+	lossByItem []int64
+
+	done    bool
+	elapsed float64
+}
+
+// Simulate runs one chaos transaction to completion (or abort) in
+// virtual time and returns its report.
+func Simulate(cfg SimConfig) (*SimReport, error) {
+	if len(cfg.Paths) == 0 {
+		return nil, fmt.Errorf("fault: simulate needs at least one path")
+	}
+	for _, p := range cfg.Paths {
+		if p.Rate <= 0 {
+			return nil, fmt.Errorf("fault: path %q has non-positive rate", p.Name)
+		}
+	}
+	n := len(cfg.Paths)
+	s := &simState{
+		cfg:  cfg,
+		plan: cfg.Plan,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		rep: &SimReport{
+			Delivered: make([]int, len(cfg.Items)),
+			PerPath:   make(map[string]SimPathStats, n),
+		},
+		flights:      make(map[int]*simFlight),
+		doneItem:     make([]bool, len(cfg.Items)),
+		fails:        make([][]int, len(cfg.Items)),
+		busy:         make([]bool, n),
+		earliestIdle: make([]float64, n),
+		streak:       make([]int, n),
+		brState:      make([]int, n),
+		brConsec:     make([]int, n),
+		brUntil:      make([]float64, n),
+		brHold:       make([]float64, n),
+		lossByItem:   make([]int64, len(cfg.Items)),
+	}
+	for i := range cfg.Items {
+		s.fails[i] = make([]int, n)
+		s.pending = append(s.pending, i)
+	}
+	for p := range cfg.Paths {
+		s.rep.PerPath[cfg.Paths[p].Name] = SimPathStats{}
+		s.brHold[p] = cfg.breakerCooldown()
+		s.push(simEvent{t: 0, kind: evIdle, path: p})
+	}
+	if len(cfg.Items) == 0 {
+		return s.rep, nil
+	}
+
+	for s.events.Len() > 0 && !s.done && s.rep.Failed == "" {
+		e := heap.Pop(&s.events).(simEvent)
+		switch e.kind {
+		case evIdle:
+			s.dispatch(e.path, e.t)
+		case evResolve:
+			s.resolve(e.att, e.t)
+		}
+	}
+	if !s.done && s.rep.Failed == "" {
+		// Every path parked with work still undone: cannot happen while
+		// budgets remain (the exhaustion check fires first), so treat it
+		// as a simulator invariant violation rather than mis-reporting.
+		return nil, fmt.Errorf("fault: simulation deadlocked with %d/%d items done",
+			s.rep.Completed, len(cfg.Items))
+	}
+	s.rep.Elapsed = s.elapsed
+	for _, w := range s.lossByItem {
+		if w > s.rep.MaxCompletionWaste {
+			s.rep.MaxCompletionWaste = w
+		}
+	}
+	return s.rep, nil
+}
+
+func (s *simState) push(e simEvent) {
+	e.seq = s.evSeq
+	s.evSeq++
+	heap.Push(&s.events, e)
+}
+
+// wakeAll re-dispatches every idle path at time t — the simulation's
+// cond.Broadcast.
+func (s *simState) wakeAll(t float64) {
+	for p := range s.cfg.Paths {
+		if !s.busy[p] {
+			s.push(simEvent{t: t, kind: evIdle, path: p})
+		}
+	}
+}
+
+// backoffDelay draws the delay for a path's k-th consecutive failure.
+func (s *simState) backoffDelay(k int) float64 {
+	if s.cfg.BackoffBase <= 0 {
+		return 0
+	}
+	d := s.cfg.BackoffBase
+	for i := 0; i < k && d < s.cfg.backoffMax(); i++ {
+		d *= 2
+	}
+	d = math.Min(d, s.cfg.backoffMax())
+	if s.cfg.Jitter > 0 {
+		d += s.cfg.Jitter * s.rng.Float64() * d
+	}
+	return d
+}
+
+// dispatch tries to start work on idle path p at time t.
+func (s *simState) dispatch(p int, t float64) {
+	if s.done || s.rep.Failed != "" || s.busy[p] {
+		return
+	}
+	if t < s.earliestIdle[p] {
+		return // backing off; a wake is queued at the horizon
+	}
+	if s.cfg.BreakerThreshold > 0 && s.brState[p] == breakerOpen {
+		if t < s.brUntil[p] {
+			s.push(simEvent{t: s.brUntil[p], kind: evIdle, path: p})
+			return
+		}
+		s.brState[p] = breakerHalfOpen // this dispatch is the probe
+	}
+
+	// Prefer pending work; otherwise duplicate the endgame item with
+	// the fewest replicas (oldest assignment breaks ties).
+	takeIdx := -1
+	for i, it := range s.pending {
+		if s.fails[it][p] < s.cfg.maxRetries() {
+			takeIdx = i
+			break
+		}
+	}
+	var f *simFlight
+	if takeIdx >= 0 {
+		it := s.pending[takeIdx]
+		s.pending = append(s.pending[:takeIdx], s.pending[takeIdx+1:]...)
+		f = &simFlight{item: it, seq: s.assignSeq, replicas: make(map[int]*simAttempt)}
+		s.assignSeq++
+		s.flights[it] = f
+	} else if !s.cfg.DisableDuplication {
+		best := -1
+		for it, cand := range s.flights {
+			_ = it
+			if _, carrying := cand.replicas[p]; carrying {
+				continue
+			}
+			if len(cand.replicas) >= len(s.cfg.Paths) {
+				continue
+			}
+			if s.fails[cand.item][p] >= s.cfg.maxRetries() {
+				continue
+			}
+			if best == -1 {
+				best = cand.item
+				continue
+			}
+			b := s.flights[best]
+			if len(cand.replicas) != len(b.replicas) {
+				if len(cand.replicas) < len(b.replicas) {
+					best = cand.item
+				}
+			} else if cand.seq < b.seq {
+				best = cand.item
+			}
+		}
+		if best == -1 {
+			return // park; a wake will retry when state changes
+		}
+		f = s.flights[best]
+		s.rep.Duplicates++
+	} else {
+		return
+	}
+
+	sp := s.cfg.Paths[p]
+	end, bytes, out := walkAttempt(s.plan, sp.Name, sp.Rate, s.cfg.Items[f.item], t, s.cfg.StallTimeout)
+	att := &simAttempt{item: f.item, path: p, start: t, bytes: bytes, out: out}
+	f.replicas[p] = att
+	s.busy[p] = true
+	s.push(simEvent{t: end, kind: evResolve, path: p, att: att})
+	// A fresh in-flight item is a new endgame candidate for parked
+	// paths.
+	s.wakeAll(t)
+}
+
+// resolve settles an attempt at its natural end time t.
+func (s *simState) resolve(att *simAttempt, t float64) {
+	if att.cancelled {
+		return // already settled at the winner's completion
+	}
+	p := att.path
+	name := s.cfg.Paths[p].Name
+	s.busy[p] = false
+	f := s.flights[att.item]
+	if f != nil {
+		delete(f.replicas, p)
+	}
+	st := s.rep.PerPath[name]
+
+	if att.out == attemptOK {
+		st.Bytes += att.bytes
+		if !s.doneItem[att.item] {
+			s.doneItem[att.item] = true
+			s.rep.Delivered[att.item]++
+			s.rep.Completed++
+			st.Items++
+			s.streak[p] = 0
+			s.breakerSuccess(p)
+			// Cancel the losing replicas: account their partial bytes
+			// as duplicate waste and free their paths now.
+			if f != nil {
+				for rp, r := range f.replicas {
+					r.cancelled = true
+					rb := cleanBytes(s.plan, s.cfg.Paths[rp].Name, s.cfg.Paths[rp].Rate,
+						s.cfg.Items[att.item], r.start, t)
+					rst := s.rep.PerPath[s.cfg.Paths[rp].Name]
+					rst.Bytes += rb
+					s.rep.PerPath[s.cfg.Paths[rp].Name] = rst
+					s.rep.DuplicateWaste += rb
+					s.lossByItem[att.item] += rb
+					s.busy[rp] = false
+				}
+				delete(s.flights, att.item)
+			}
+			if s.rep.Completed == len(s.cfg.Items) {
+				s.done = true
+				s.elapsed = t
+			}
+		} else {
+			// Simultaneous finish: the earlier event won; ours is waste.
+			s.rep.DuplicateWaste += att.bytes
+			s.lossByItem[att.item] += att.bytes
+		}
+		s.rep.PerPath[name] = st
+		if !s.done {
+			s.push(simEvent{t: t, kind: evIdle, path: p})
+			s.wakeAll(t)
+		}
+		return
+	}
+
+	// Failure (killed or stall-aborted).
+	st.Bytes += att.bytes
+	st.Failures++
+	if att.out == attemptStalled {
+		st.Stalls++
+		s.rep.StallAborts++
+	}
+	s.rep.PerPath[name] = st
+	s.rep.FailureWaste += att.bytes
+	s.fails[att.item][p]++
+	s.breakerFailure(p, t)
+	delay := s.backoffDelay(s.streak[p])
+	s.streak[p]++
+
+	if !s.doneItem[att.item] {
+		exhausted := true
+		for q := range s.cfg.Paths {
+			if s.fails[att.item][q] < s.cfg.maxRetries() {
+				exhausted = false
+				break
+			}
+		}
+		switch {
+		case exhausted:
+			s.rep.Failed = fmt.Sprintf("item %d failed on every path (last %s) after %d attempts",
+				att.item, name, sumInts(s.fails[att.item]))
+			s.elapsed = t
+			return
+		case f != nil && len(f.replicas) == 0:
+			delete(s.flights, att.item)
+			s.pending = append(s.pending, att.item)
+			s.rep.Requeues++
+		}
+	}
+	s.earliestIdle[p] = t + delay
+	s.push(simEvent{t: t + delay, kind: evIdle, path: p})
+	s.wakeAll(t)
+}
+
+func (s *simState) breakerSuccess(p int) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	s.brState[p] = breakerClosed
+	s.brConsec[p] = 0
+	s.brHold[p] = s.cfg.breakerCooldown()
+}
+
+func (s *simState) breakerFailure(p int, t float64) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	open := func() {
+		s.brState[p] = breakerOpen
+		s.brUntil[p] = t + s.brHold[p]
+		s.brHold[p] = math.Min(s.brHold[p]*2, s.cfg.breakerMaxCooldown())
+		s.brConsec[p] = 0
+		s.rep.BreakerOpens++
+		st := s.rep.PerPath[s.cfg.Paths[p].Name]
+		st.BreakerOpens++
+		s.rep.PerPath[s.cfg.Paths[p].Name] = st
+	}
+	switch s.brState[p] {
+	case breakerHalfOpen:
+		open()
+	case breakerClosed:
+		s.brConsec[p]++
+		if s.brConsec[p] >= s.cfg.BreakerThreshold {
+			open()
+		}
+	}
+}
+
+func sumInts(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

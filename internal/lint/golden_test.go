@@ -27,6 +27,7 @@ var goldenFixtures = []struct {
 	{name: "droppederr", deps: []string{"errpkg"}},
 	{name: "clean"},
 	{name: "fleetrng"},
+	{name: "faultwall"},
 }
 
 func TestGolden(t *testing.T) {

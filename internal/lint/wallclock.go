@@ -20,6 +20,7 @@ var SimPackages = map[string]bool{
 	"fleet":     true,
 	"obs":       true,
 	"eventlog":  true,
+	"fault":     true,
 }
 
 // Wallclock flags direct wall-clock reads and sleeps. Simulation packages

@@ -26,6 +26,9 @@ type Metrics struct {
 	// ClientRefreshes counts device-side cache refreshes by result
 	// (granted | denied | error); cache hits are not counted.
 	ClientRefreshes *obs.Counter
+	// ClientRetries counts single-retry attempts after a transient
+	// backend failure (connection error or 5xx).
+	ClientRetries *obs.Counter
 }
 
 // NewMetrics registers the permit subsystem's metrics on r.
@@ -39,6 +42,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		ClientRefreshes: r.NewCounter("permit_client_refreshes_total",
 			"Device-side permit cache refreshes, by result (granted | denied | error); cache hits excluded.",
 			"result"),
+		ClientRetries: r.NewCounter("permit_client_retries_total",
+			"Permit refresh retries after a transient backend failure (connection error or 5xx)."),
 	}
 }
 
@@ -66,4 +71,11 @@ func (m *Metrics) refreshed(granted bool, err error) {
 		result = refreshGranted
 	}
 	m.ClientRefreshes.With(result).Inc()
+}
+
+func (m *Metrics) retriedRefresh() {
+	if m == nil {
+		return
+	}
+	m.ClientRetries.Inc()
 }

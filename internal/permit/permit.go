@@ -143,6 +143,13 @@ type Client struct {
 	// HTTPClient issues the permit requests; nil uses a short-timeout
 	// default (the permit check sits on the request path).
 	HTTPClient *http.Client
+	// RequestTimeout bounds each individual backend request (applied as
+	// a per-attempt context deadline, independent of any HTTPClient
+	// timeout); 0 selects 2 seconds. A transient failure — connection
+	// error or 5xx — is retried exactly once within the caller's
+	// context, so a flaky backend costs at most one extra round-trip
+	// and a dead one still fails fast.
+	RequestTimeout time.Duration
 	// Metrics, when non-nil, receives refresh instrumentation (see
 	// NewMetrics).
 	Metrics *Metrics
@@ -160,6 +167,13 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return &http.Client{Timeout: 2 * time.Second}
+}
+
+func (c *Client) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 2 * time.Second
 }
 
 // Allowed reports whether the device currently holds a valid permit,
@@ -222,26 +236,46 @@ func (c *Client) Invalidate() {
 	c.expires = time.Time{}
 }
 
+// fetch performs one backend refresh, retrying exactly once when the
+// first attempt fails transiently (connection error or 5xx) and the
+// caller's context is still alive.
 func (c *Client) fetch(ctx context.Context) (*Response, error) {
+	resp, transient, err := c.fetchOnce(ctx)
+	if err != nil && transient && ctx.Err() == nil {
+		c.Metrics.retriedRefresh()
+		resp, _, err = c.fetchOnce(ctx)
+	}
+	return resp, err
+}
+
+// fetchOnce issues a single permit request under the per-attempt
+// timeout. transient classifies the failure: connection-level errors
+// and 5xx responses are worth one retry; 4xx and malformed bodies are
+// not.
+func (c *Client) fetchOnce(ctx context.Context) (resp *Response, transient bool, err error) {
+	rctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
+	defer cancel()
 	url := fmt.Sprintf("%s/permit?device=%s&cell=%s", c.BackendURL, c.Device, c.Cell)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, fmt.Errorf("permit: building request for %s: %w", url, err)
+		return nil, false, fmt.Errorf("permit: building request for %s: %w", url, err)
 	}
 	if tc, ok := eventlog.FromContext(ctx); ok {
 		eventlog.InjectHTTP(req.Header, tc)
 	}
 	httpResp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("permit: requesting %s: %w", url, err)
+		// Connection refused, reset, or timeout: all transient.
+		return nil, true, fmt.Errorf("permit: requesting %s: %w", url, err)
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("permit: backend returned %s", httpResp.Status)
+		return nil, httpResp.StatusCode >= 500,
+			fmt.Errorf("permit: backend returned %s", httpResp.Status)
 	}
-	var resp Response
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return nil, fmt.Errorf("permit: decoding response: %w", err)
+	var out Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		return nil, false, fmt.Errorf("permit: decoding response: %w", err)
 	}
-	return &resp, nil
+	return &out, false, nil
 }

@@ -1,10 +1,14 @@
 package permit
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
+
+	"threegol/internal/obs"
 )
 
 func TestBackendGrantsBelowThreshold(t *testing.T) {
@@ -140,4 +144,87 @@ func TestDeniedPermitRecheckedAfterCooldown(t *testing.T) {
 		t.Errorf("backend called %d times within cool-down, want 1", calls)
 	}
 	mu.Unlock()
+}
+
+func TestClientRetriesTransient5xx(t *testing.T) {
+	// First request 503, second succeeds: the client's single retry
+	// must turn this into a granted permit.
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"granted":true,"ttl_seconds":60}`)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	c := &Client{BackendURL: srv.URL, Device: "d1", Cell: "c1", Metrics: m}
+	if !c.Allowed() {
+		t.Fatal("permit denied despite successful retry")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("backend saw %d calls; want exactly 2 (one retry)", calls)
+	}
+	if got := m.ClientRetries.With().Value(); got != 1 {
+		t.Fatalf("retry counter = %v; want 1", got)
+	}
+}
+
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	// A dead backend: both attempts fail, the client degrades to "not
+	// allowed" after exactly one retry, and fails fast.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // nothing listens here any more → connection refused
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	c := &Client{BackendURL: url, Device: "d1", Cell: "c1", Metrics: m,
+		RequestTimeout: 200 * time.Millisecond}
+	start := time.Now()
+	if c.Allowed() {
+		t.Fatal("permit granted with a dead backend")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("dead-backend refresh took %v; want fast failure", d)
+	}
+	if got := m.ClientRetries.With().Value(); got != 1 {
+		t.Fatalf("retry counter = %v; want exactly 1", got)
+	}
+	if got := m.ClientRefreshes.With("error").Value(); got != 1 {
+		t.Fatalf("error refreshes = %v; want 1 (retry folded into one refresh)", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, "who are you", http.StatusForbidden)
+	}))
+	defer srv.Close()
+
+	c := &Client{BackendURL: srv.URL, Device: "d1", Cell: "c1"}
+	if c.Allowed() {
+		t.Fatal("permit granted on 403")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("backend saw %d calls; 4xx must not be retried", calls)
+	}
 }

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -107,6 +108,16 @@ func TestExhaustionEvents(t *testing.T) {
 		Options{MaxRetries: 2, Events: log})
 	if err == nil {
 		t.Fatal("want exhaustion error")
+	}
+	// Exhaustion surfaces as a typed *ItemError carrying the item, path
+	// and attempt count, with the final failure preserved for errors.Is.
+	var ie *ItemError
+	if !errors.As(err, &ie) {
+		t.Fatalf("exhaustion error is %T, want *ItemError", err)
+	}
+	const wantMsg = "scheduler: item 0 (item0) failed on path adsl after 2 attempts: injected failure for item 0"
+	if err.Error() != wantMsg {
+		t.Errorf("error message = %q\n            want %q", err, wantMsg)
 	}
 	evs := log.Events()
 	checkSingleTrace(t, evs)

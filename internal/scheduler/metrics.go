@@ -35,6 +35,21 @@ type Metrics struct {
 	// the per-transaction completion curve (Report.ItemDone) as a
 	// mergeable histogram.
 	ItemSeconds *obs.Histogram
+	// StallAborts counts progress-watchdog aborts: attempts cancelled
+	// because no bytes moved within Options.StallTimeout, by path.
+	StallAborts *obs.Counter
+	// Backoffs counts backoff sleeps applied before retry attempts, by
+	// path.
+	Backoffs *obs.Counter
+	// BreakerOpens counts circuit-breaker openings (path ejected from
+	// the rotation after consecutive failures), by path.
+	BreakerOpens *obs.Counter
+	// BreakerProbes counts half-open probe admissions after a cooldown,
+	// by path.
+	BreakerProbes *obs.Counter
+	// BreakerCloses counts breaker re-closures (a half-open probe
+	// succeeded and the path rejoined the rotation), by path.
+	BreakerCloses *obs.Counter
 }
 
 // NewMetrics registers the scheduler's metrics on r.
@@ -57,6 +72,16 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		ItemSeconds: r.NewHistogram("scheduler_item_seconds",
 			"Elapsed time from transaction start to each item's first completion, by winning path.",
 			0, 60, 1200, "path"),
+		StallAborts: r.NewCounter("scheduler_stall_aborts_total",
+			"Attempts aborted by the progress watchdog (no bytes moved within the stall timeout), by path.", "path"),
+		Backoffs: r.NewCounter("scheduler_backoffs_total",
+			"Backoff sleeps applied before retry attempts, by path.", "path"),
+		BreakerOpens: r.NewCounter("scheduler_breaker_opens_total",
+			"Circuit-breaker openings: path ejected from the rotation after consecutive failures, by path.", "path"),
+		BreakerProbes: r.NewCounter("scheduler_breaker_probes_total",
+			"Half-open probe admissions after a breaker cooldown elapsed, by path.", "path"),
+		BreakerCloses: r.NewCounter("scheduler_breaker_closes_total",
+			"Breaker re-closures: a half-open probe succeeded and the path rejoined the rotation, by path.", "path"),
 	}
 }
 
@@ -110,4 +135,39 @@ func (m *Metrics) wasted(n int64) {
 		return
 	}
 	m.WastedBytes.Add(n)
+}
+
+func (m *Metrics) stallAborted(path string) {
+	if m == nil {
+		return
+	}
+	m.StallAborts.With(path).Inc()
+}
+
+func (m *Metrics) backedOff(path string) {
+	if m == nil {
+		return
+	}
+	m.Backoffs.With(path).Inc()
+}
+
+func (m *Metrics) breakerOpened(path string) {
+	if m == nil {
+		return
+	}
+	m.BreakerOpens.With(path).Inc()
+}
+
+func (m *Metrics) breakerProbed(path string) {
+	if m == nil {
+		return
+	}
+	m.BreakerProbes.With(path).Inc()
+}
+
+func (m *Metrics) breakerClosed(path string) {
+	if m == nil {
+		return
+	}
+	m.BreakerCloses.With(path).Inc()
 }

@@ -104,6 +104,18 @@ type Options struct {
 	// DisableDuplication turns off GRD's endgame re-assignment (the
 	// ablation knob for the paper's duplication design choice).
 	DisableDuplication bool
+	// Backoff configures deterministic exponential backoff with seeded
+	// jitter between retry attempts. The zero value disables backoff
+	// (instant retry, the historical behaviour).
+	Backoff BackoffConfig
+	// StallTimeout aborts a transfer attempt when the path reports no
+	// byte progress for this long, and requeues the item. Only paths
+	// implementing ProgressPath are watched; zero disables the
+	// watchdog.
+	StallTimeout time.Duration
+	// Breaker configures the per-path circuit breaker (GRD/PLAYOUT
+	// only). The zero value disables it.
+	Breaker BreakerConfig
 	// Clock supplies elapsed-time measurement; nil selects the system
 	// clock. Tests and virtual-time harnesses inject a fake here.
 	Clock clock.Clock
@@ -226,12 +238,20 @@ type tracker struct {
 	clk   clock.Clock
 	start time.Time
 	opts  Options
+	res   *resilience
 	done  []bool
 	left  int
+	// doneCh closes when the last item completes, so workers sleeping
+	// out a backoff or breaker cooldown wake instead of delaying the
+	// transaction's return.
+	doneCh chan struct{}
 }
 
-func newTracker(rep *Report, clk clock.Clock, start time.Time, n int, opts Options) *tracker {
-	return &tracker{rep: rep, clk: clk, start: start, opts: opts, done: make([]bool, n), left: n}
+func newTracker(rep *Report, clk clock.Clock, start time.Time, n int, opts Options, paths []Path) *tracker {
+	t := &tracker{rep: rep, clk: clk, start: start, opts: opts,
+		done: make([]bool, n), left: n, doneCh: make(chan struct{})}
+	t.res = newResilience(opts, paths, t)
+	return t
 }
 
 // complete records the first successful completion of item. It reports
@@ -246,6 +266,9 @@ func (t *tracker) complete(item Item, pathName string, bytes int64) bool {
 	}
 	t.done[item.ID] = true
 	t.left--
+	if t.left == 0 {
+		close(t.doneCh)
+	}
 	elapsed := t.clk.Since(t.start)
 	t.rep.ItemDone[item.ID] = elapsed
 	st := t.rep.PerPath[pathName]
@@ -308,7 +331,7 @@ func (t *tracker) addDuplicate(pathName string) {
 // ----- Round robin -----
 
 func runRoundRobin(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, clk clock.Clock, start time.Time) error {
-	trk := newTracker(rep, clk, start, len(items), opts)
+	trk := newTracker(rep, clk, start, len(items), opts, paths)
 	queues := make([][]Item, len(paths))
 	for i, it := range items {
 		q := i % len(paths)
@@ -350,11 +373,22 @@ func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if attempt > 0 {
+			if d := trk.res.retryDelay(attempt - 1); d > 0 {
+				trk.opts.Metrics.backedOff(p.Name())
+				ev.Point(tc, "scheduler.backoff",
+					"item", eventlog.Int(int64(it.ID)), "path", p.Name(),
+					"delay_s", eventlog.Float(d.Seconds()))
+				if !trk.sleepFor(ctx, d) && ctx.Err() != nil {
+					return ctx.Err()
+				}
+			}
+		}
 		t0 := trk.clk.Now()
 		sp := ev.Begin(tc, "scheduler.attempt",
 			"item", eventlog.Int(int64(it.ID)), "path", p.Name(),
 			"try", eventlog.Int(int64(attempt)))
-		n, err := p.Transfer(eventlog.NewContext(ctx, sp.Context()), it)
+		n, err, stalled := runAttempt(eventlog.NewContext(ctx, sp.Context()), p, it, trk)
 		if err == nil {
 			sp.End("outcome", "ok", "bytes", eventlog.Int(n))
 			trk.complete(it, p.Name(), n)
@@ -371,6 +405,12 @@ func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk
 			return ctx.Err()
 		}
 		sp.End("outcome", "error", "bytes", eventlog.Int(n), "error", err.Error())
+		if stalled {
+			trk.opts.Metrics.stallAborted(p.Name())
+			ev.Point(tc, "scheduler.stall",
+				"item", eventlog.Int(int64(it.ID)), "path", p.Name(),
+				"timeout_s", eventlog.Float(trk.res.stall.Seconds()))
+		}
 		trk.opts.Metrics.retried(p.Name())
 		ev.Point(tc, "scheduler.retry",
 			"item", eventlog.Int(int64(it.ID)), "path", p.Name(),
@@ -379,14 +419,14 @@ func transferWithRetry(ctx context.Context, p Path, it Item, maxRetries int, trk
 	}
 	ev.Point(tc, "scheduler.exhausted",
 		"item", eventlog.Int(int64(it.ID)), "path", p.Name())
-	return fmt.Errorf("scheduler: item %d (%s) failed on path %s after %d attempts: %w",
-		it.ID, it.Name, p.Name(), maxRetries, lastErr)
+	return &ItemError{ItemID: it.ID, ItemName: it.Name, PathName: p.Name(),
+		Attempts: maxRetries, Err: lastErr}
 }
 
 // ----- MIN (estimated minimum completion time) -----
 
 func runMinTime(ctx context.Context, items []Item, paths []Path, opts Options, rep *Report, clk clock.Clock, start time.Time) error {
-	trk := newTracker(rep, clk, start, len(items), opts)
+	trk := newTracker(rep, clk, start, len(items), opts, paths)
 	n := len(paths)
 
 	type pathState struct {
@@ -525,7 +565,7 @@ type flight struct {
 }
 
 func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts Options, rep *Report, clk clock.Clock, start time.Time) error {
-	trk := newTracker(rep, clk, start, len(items), opts)
+	trk := newTracker(rep, clk, start, len(items), opts, paths)
 
 	var (
 		mu       sync.Mutex
@@ -620,6 +660,22 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 		p := p
 		g.go_(func(ctx context.Context) error {
 			for {
+				// Circuit-breaker gate: while this path's breaker is open
+				// it is ejected from the rotation — sleep out the cooldown
+				// (waking early on completion or cancellation), then come
+				// back as the half-open probe.
+				if br := trk.res.breakerFor(p.Name()); br != nil {
+					if wait, ok := br.admit(trk.clk.Now()); !ok {
+						if trk.sleepFor(ctx, wait) {
+							continue
+						}
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						// Transaction resolved while ejected: fall through
+						// to the exit checks under the lock.
+					}
+				}
 				mu.Lock() //3golvet:allow locksafe — condition-variable protocol; cond.Wait needs the raw mutex
 				var takeIdx int
 				for {
@@ -668,13 +724,16 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 				sp := ev.Begin(tc, "scheduler.attempt",
 					"item", eventlog.Int(int64(item.ID)), "path", p.Name())
 
-				n, err := p.Transfer(eventlog.NewContext(tctx, sp.Context()), item)
+				n, err, stalled := runAttempt(eventlog.NewContext(tctx, sp.Context()), p, item, trk)
 				// Record whether *our replica* was cancelled before we
 				// release the context (cancel() would make tctx.Err()
-				// non-nil unconditionally).
+				// non-nil unconditionally). A stall abort cancels only
+				// runAttempt's child context, so it lands in the genuine-
+				// failure branch below and the item is requeued.
 				replicaCancelled := tctx.Err() != nil
 				cancel()
 
+				var backoffDelay time.Duration
 				mu.Lock() //3golvet:allow locksafe — outcome bookkeeping unlocks manually on the abort path
 				delete(f.replicas, p.Name())
 				switch {
@@ -697,6 +756,7 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 					} else {
 						sp.End("outcome", "lost_race", "bytes", eventlog.Int(n))
 					}
+					trk.res.onSuccess(p.Name())
 					cond.Broadcast()
 				case replicaCancelled && ctx.Err() == nil:
 					// Cancelled because another replica won: waste.
@@ -715,15 +775,26 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 					// retry budget for it.
 					sp.End("outcome", "error", "bytes", eventlog.Int(n), "error", err.Error())
 					trk.addBytes(p.Name(), n)
+					if stalled {
+						trk.opts.Metrics.stallAborted(p.Name())
+						ev.Point(tc, "scheduler.stall",
+							"item", eventlog.Int(int64(item.ID)), "path", p.Name(),
+							"timeout_s", eventlog.Float(trk.res.stall.Seconds()))
+					}
 					trk.opts.Metrics.retried(p.Name())
 					ev.Point(tc, "scheduler.retry",
 						"item", eventlog.Int(int64(item.ID)), "path", p.Name())
+					backoffDelay = trk.res.onFailure(p.Name(), trk.clk.Now())
 					if !trk.isDone(item.ID) {
 						recordFail(item.ID, p.Name())
 						switch {
 						case exhaustedEverywhere(item.ID):
-							failed = fmt.Errorf("scheduler: item %d (%s) failed on every path: %w",
-								item.ID, item.Name, err)
+							attempts := 0
+							for _, c := range fails[item.ID] {
+								attempts += c
+							}
+							failed = &ItemError{ItemID: item.ID, ItemName: item.Name,
+								PathName: p.Name(), Attempts: attempts, Everywhere: true, Err: err}
 							ev.Point(tc, "scheduler.exhausted",
 								"item", eventlog.Int(int64(item.ID)), "path", p.Name())
 						case len(f.replicas) == 0:
@@ -739,6 +810,13 @@ func runGreedy(ctx context.Context, algo Algo, items []Item, paths []Path, opts 
 					cond.Broadcast()
 				}
 				mu.Unlock()
+				if backoffDelay > 0 {
+					trk.opts.Metrics.backedOff(p.Name())
+					ev.Point(tc, "scheduler.backoff",
+						"item", eventlog.Int(int64(item.ID)), "path", p.Name(),
+						"delay_s", eventlog.Float(backoffDelay.Seconds()))
+					trk.sleepFor(ctx, backoffDelay)
+				}
 			}
 		})
 	}

@@ -48,7 +48,19 @@ func (p *DownloadPath) Name() string { return p.PathName }
 
 // Transfer implements scheduler.Path: GET the item and feed it to the
 // sink, returning bytes moved (partial on cancellation).
-func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64, err error) {
+func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+	return p.transfer(ctx, item, nil)
+}
+
+// TransferProgress implements scheduler.ProgressPath: Transfer with a
+// cumulative byte-progress hook observing the response body stream, so
+// the scheduler's stall watchdog can abort a transfer whose connection
+// is up but silent.
+func (p *DownloadPath) TransferProgress(ctx context.Context, item scheduler.Item, progress func(int64)) (int64, error) {
+	return p.transfer(ctx, item, progress)
+}
+
+func (p *DownloadPath) transfer(ctx context.Context, item scheduler.Item, progress func(int64)) (n int64, err error) {
 	clk := clock.Or(p.Clock)
 	t0 := clk.Now()
 	tc, _ := eventlog.FromContext(ctx)
@@ -76,7 +88,11 @@ func (p *DownloadPath) Transfer(ctx context.Context, item scheduler.Item) (n int
 			return io.Copy(io.Discard, body)
 		}
 	}
-	n, err = sink(item, resp.Body)
+	body := io.Reader(resp.Body)
+	if progress != nil {
+		body = &progressReader{r: body, fn: progress}
+	}
+	n, err = sink(item, body)
 	if err != nil {
 		// Prefer reporting cancellation over the wrapped copy error so
 		// the scheduler classifies aborted replicas correctly.
@@ -121,7 +137,17 @@ func (p *UploadPath) Name() string { return p.PathName }
 
 // Transfer implements scheduler.Path: stream one multipart POST. The
 // returned byte count covers the item content (not multipart framing).
-func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64, err error) {
+func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+	return p.transfer(ctx, item, nil)
+}
+
+// TransferProgress implements scheduler.ProgressPath: Transfer with a
+// cumulative byte-progress hook observing the request body stream.
+func (p *UploadPath) TransferProgress(ctx context.Context, item scheduler.Item, progress func(int64)) (int64, error) {
+	return p.transfer(ctx, item, progress)
+}
+
+func (p *UploadPath) transfer(ctx context.Context, item scheduler.Item, progress func(int64)) (n int64, err error) {
 	clk := clock.Or(p.Clock)
 	t0 := clk.Now()
 	tc, _ := eventlog.FromContext(ctx)
@@ -140,7 +166,7 @@ func (p *UploadPath) Transfer(ctx context.Context, item scheduler.Item) (n int64
 
 	pr, pw := io.Pipe()
 	mw := multipart.NewWriter(pw)
-	counter := &countingReader{r: content}
+	counter := &countingReader{r: content, fn: progress}
 
 	go func() {
 		defer content.Close()
@@ -213,6 +239,7 @@ func propagated(sp eventlog.Span, tc eventlog.TraceContext) eventlog.TraceContex
 
 type countingReader struct {
 	r  io.Reader
+	fn func(int64) // optional progress hook (cumulative bytes)
 	mu sync.Mutex
 	n  int64
 }
@@ -221,7 +248,28 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.mu.Lock()
 	c.n += int64(n)
+	total := c.n
 	c.mu.Unlock()
+	if c.fn != nil && n > 0 {
+		c.fn(total)
+	}
+	return n, err
+}
+
+// progressReader forwards Reads, reporting the cumulative byte count to
+// fn after every productive read.
+type progressReader struct {
+	r     io.Reader
+	fn    func(int64)
+	total int64
+}
+
+func (p *progressReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	if n > 0 {
+		p.total += int64(n)
+		p.fn(p.total)
+	}
 	return n, err
 }
 

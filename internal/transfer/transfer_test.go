@@ -326,3 +326,59 @@ func TestDownloadThroughSchedulerEndToEnd(t *testing.T) {
 		t.Errorf("cache has %d entries, want 8", cache.Len())
 	}
 }
+
+// Both path types must expose byte progress so the scheduler's stall
+// watchdog can guard real HTTP transfers.
+var (
+	_ scheduler.ProgressPath = (*DownloadPath)(nil)
+	_ scheduler.ProgressPath = (*UploadPath)(nil)
+)
+
+func TestDownloadPathReportsProgress(t *testing.T) {
+	srv := originServer(t, 4096)
+	defer srv.Close()
+	p := &DownloadPath{PathName: "adsl", Client: srv.Client()}
+	var mu sync.Mutex
+	var totals []int64
+	n, err := p.TransferProgress(context.Background(),
+		scheduler.Item{ID: 0, Name: srv.URL + "/a"},
+		func(total int64) { mu.Lock(); totals = append(totals, total); mu.Unlock() })
+	if err != nil || n != 4096 {
+		t.Fatalf("TransferProgress = %d, %v", n, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(totals) == 0 || totals[len(totals)-1] != 4096 {
+		t.Fatalf("progress totals %v; want cumulative ending at 4096", totals)
+	}
+	for i := 1; i < len(totals); i++ {
+		if totals[i] <= totals[i-1] {
+			t.Fatalf("progress not strictly increasing: %v", totals)
+		}
+	}
+}
+
+func TestUploadPathReportsProgress(t *testing.T) {
+	_, srv := newUploadServer(t)
+	defer srv.Close()
+	content := map[string][]byte{"p1.jpg": bytes.Repeat([]byte("j"), 2048)}
+	p := &UploadPath{
+		PathName:  "phone1",
+		Client:    srv.Client(),
+		TargetURL: srv.URL + "/upload",
+		Source:    bytesSource(content),
+	}
+	var mu sync.Mutex
+	var last int64
+	n, err := p.TransferProgress(context.Background(),
+		scheduler.Item{ID: 0, Name: "p1.jpg", Size: 2048},
+		func(total int64) { mu.Lock(); last = total; mu.Unlock() })
+	if err != nil || n != 2048 {
+		t.Fatalf("TransferProgress = %d, %v", n, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if last != 2048 {
+		t.Fatalf("final progress total = %d; want 2048", last)
+	}
+}

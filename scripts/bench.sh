@@ -10,6 +10,11 @@
 #   3. BenchmarkFleetThroughput   — go test -bench engine scaling
 #      (homes/s at shard widths 1, 4, NumCPU)
 #
+# It also writes BENCH_chaos.json: the chaos harness run under the
+# hostile scenario, tracking the fault-injection engine's wall time and
+# the resilience counters (requeues, stall aborts, breaker opens) so a
+# PR that regresses recovery behaviour shows up as a diff.
+#
 # Only simulation-path work runs here: the prototype-path experiments
 # (fig6–fig9) drive real sockets for seconds per rep and belong to
 # manual runs, not the perf trajectory.
@@ -25,7 +30,8 @@ fleet=$(mktemp)
 sim=$(mktemp)
 bench=$(mktemp)
 tput=$(mktemp)
-trap 'rm -f "$fleet" "$sim" "$bench" "$tput"' EXIT
+chaos=$(mktemp)
+trap 'rm -f "$fleet" "$sim" "$bench" "$tput" "$chaos"' EXIT
 
 echo '==> 3golfleet -json (engine throughput + aggregates)'
 go run ./cmd/3golfleet -homes 18000 -days 1 -shards 8 -json > "$fleet"
@@ -56,3 +62,13 @@ jq -n \
       fig11a: $sim[0]}' > BENCH_fleet.json
 
 echo "bench.sh: wrote BENCH_fleet.json"
+
+echo '==> 3golfleet -chaos hostile -json (fault-injection engine)'
+go run ./cmd/3golfleet -chaos hostile -homes 4096 -seed 1 -json > "$chaos"
+
+jq -n \
+    --slurpfile chaos "$chaos" \
+    '{generated_by: "scripts/bench.sh",
+      chaos_report: $chaos[0]}' > BENCH_chaos.json
+
+echo "bench.sh: wrote BENCH_chaos.json"

@@ -11,7 +11,11 @@
 #      budget, with its -json report validated for shape
 #   7. trace smoke — 3golfleet -events flight-recorder capture piped
 #      through 3goltrace -check (stream invariants)
-#   8. metrics docs — METRICS.md must match the live registry
+#   8. chaos smoke — 3golfleet -chaos runs the fault-injection harness
+#      under a hostile scenario and under blackout-all; the command
+#      exits non-zero if any resilience invariant (exactly-once
+#      delivery, duplicate-waste bound, ADSL-only completion) breaks
+#   9. metrics docs — METRICS.md must match the live registry
 #      (3golobs gen-docs -check)
 #
 # Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
@@ -61,6 +65,15 @@ echo '==> trace smoke (3golfleet -events | 3goltrace -check)'
 # pairing) — the same stream internal/fleet pins byte-identical across
 # worker counts.
 timeout 180 go run ./cmd/3golfleet -homes 500 -days 1 -shards 4 -events "$events" > /dev/null
+go run ./cmd/3goltrace -check "$events"
+
+echo '==> chaos smoke (3golfleet -chaos invariants)'
+# The chaos harness replays the hostile scenario (every fault class
+# layered) and total 3G blackout across a small fleet; 3golfleet itself
+# asserts the resilience invariants and exits non-zero on any violation.
+# The captured eventlog must also pass the trace analyzer's checks.
+timeout 180 go run ./cmd/3golfleet -chaos hostile -homes 256 -seed 1 -json > /dev/null
+timeout 180 go run ./cmd/3golfleet -chaos blackout-all -homes 128 -seed 1 -events "$events" > /dev/null
 go run ./cmd/3goltrace -check "$events"
 
 echo '==> metrics docs (3golobs gen-docs -check)'
