@@ -127,7 +127,7 @@ func runVoD(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: handler}
-	go srv.Serve(ln)
+	go srv.Serve(ln) //3golvet:allow goroleak — bounded by the deferred srv.Close, which makes Serve return
 	defer srv.Close()
 	log.Printf("3golc: accelerating proxy on http://%s (origin %s, %d devices, %s scheduler)",
 		ln.Addr(), *origin, len(routes), algo)

@@ -83,7 +83,7 @@ func main() {
 	}
 	srv.Admit = func(ctx context.Context) bool {
 		defer tracer.Start("admit").End()
-		if permits != nil && !permits.AllowedCtx(ctx) {
+		if permits != nil && !permits.Allowed(ctx) {
 			return false
 		}
 		if tracker != nil && !tracker.ShouldAdvertise() {
@@ -92,7 +92,7 @@ func main() {
 		return true
 	}
 
-	addr, shutdown, err := srv.ListenAndServe(*listen)
+	addr, shutdown, err := srv.ListenAndServe(context.Background(), *listen)
 	if err != nil {
 		log.Fatalf("3gold: starting proxy: %v", err)
 	}

@@ -84,7 +84,9 @@ func main() {
 	}
 
 	if *feed {
-		go func() {
+		// Process-lifetime reader: it dies with stdin at daemon exit and
+		// has nothing to join.
+		go func() { //3golvet:allow goroleak — intentional process-lifetime stdin feed
 			sc := bufio.NewScanner(os.Stdin)
 			for sc.Scan() {
 				fields := strings.Fields(sc.Text())

@@ -1,71 +1,271 @@
 // Command 3golvet is the repository's static analyzer. It enforces the
 // determinism and concurrency invariants the trace-driven evaluation
 // depends on: no wall-clock reads or global randomness in simulation
-// packages, disciplined mutex usage, and no silently dropped errors.
+// packages, disciplined mutex usage, no locks held across I/O, context
+// propagation through the data-plane API, deterministic map iteration in
+// merge-reduce, joinable goroutines, and no silently dropped errors.
 //
 // Usage:
 //
-//	go run ./cmd/3golvet ./...          # whole module
-//	go run ./cmd/3golvet ./internal/netem ./internal/core/...
+//	go run ./cmd/3golvet ./...                          # whole module
+//	go run ./cmd/3golvet -baseline lint/baseline.json ./...
+//	go run ./cmd/3golvet -json vet-report.json ./...    # CI artifact
+//	go run ./cmd/3golvet -sarif vet.sarif ./...         # CI annotations
+//	go run ./cmd/3golvet -fix ./...                     # apply autofixes
+//	go run ./cmd/3golvet -baseline lint/baseline.json -writebaseline ./...
 //
 // A pattern ending in /... is walked recursively (testdata, vendor and
 // hidden directories are skipped). Findings print one per line as
 //
 //	file:line: [analyzer] message
 //
-// and the exit status is 1 when any finding survives suppression via the
-// //3golvet:allow <analyzer> directive; see internal/lint for the
-// analyzer catalogue.
+// With -baseline, findings matching the committed baseline are frozen
+// debt: they stay visible in reports but do not fail the run. New
+// findings fail with exit status 1 (the ratchet only tightens); baseline
+// entries with no matching finding are reported as shrinkable. Without
+// -baseline every finding is new. See internal/lint for the analyzer
+// catalogue and the //3golvet:allow suppression directive.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"threegol/internal/lint"
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
+	var (
+		jsonPath      = flag.String("json", "", "write a JSON report to `file` (\"-\" for stdout)")
+		sarifPath     = flag.String("sarif", "", "write a SARIF 2.1.0 log to `file` (\"-\" for stdout)")
+		baselinePath  = flag.String("baseline", "", "apply the ratchet against baseline `file` (findings in it are frozen, new ones fail)")
+		writeBaseline = flag.Bool("writebaseline", false, "regenerate the -baseline file from the current findings and exit")
+		fix           = flag.Bool("fix", false, "apply mechanical autofixes (defer-unlock insertion, stale allow removal), then re-analyze")
+	)
+	flag.Parse()
+	start := time.Now() //3golvet:allow wallclock — elapsed_seconds in the report measures real tool latency
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
-	dirs, err := expandPatterns(args)
+	dirs, err := expandPatterns(patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	modRoot, modPath, err := findModule(".")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
+	prog, err := load(dirs, modRoot, modPath)
+	if err != nil {
+		fatal(err)
+	}
+	diags := prog.Run(lint.Analyzers())
+
+	var fixed []string
+	if *fix {
+		fixed, err = lint.Fix(prog, diags)
+		if err != nil {
+			fatal(err)
+		}
+		for _, path := range fixed {
+			fmt.Printf("3golvet: fixed %s\n", path)
+		}
+		if len(fixed) > 0 {
+			// Re-analyze from a clean load so the report reflects the
+			// fixed tree.
+			if prog, err = load(dirs, modRoot, modPath); err != nil {
+				fatal(err)
+			}
+			diags = prog.Run(lint.Analyzers())
+		}
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fatal(fmt.Errorf("-writebaseline requires -baseline <file>"))
+		}
+		b := lint.NewBaseline(diags)
+		if err := b.Write(*baselinePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("3golvet: wrote %s (%d entr%s freezing %d finding(s))\n",
+			*baselinePath, len(b.Entries), plural(len(b.Entries), "y", "ies"), len(diags))
+		return
+	}
+
+	fresh, baselined := diags, []lint.Diagnostic(nil)
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		fresh, baselined, stale = b.Apply(diags)
+	}
+
+	report := &lint.Report{
+		Tool:           "3golvet",
+		ElapsedSeconds: time.Since(start).Seconds(), //3golvet:allow wallclock — elapsed_seconds in the report measures real tool latency
+		Packages:       countTargets(prog),
+		Fresh:          lint.Findings(fresh),
+		Baselined:      lint.Findings(baselined),
+		StaleBaseline:  stale,
+		Fixed:          fixed,
+	}
+	if stale == nil {
+		report.StaleBaseline = []lint.BaselineEntry{}
+	}
+	if err := emit(*jsonPath, func(w io.Writer) error { return report.WriteJSON(w) }); err != nil {
+		fatal(err)
+	}
+	if err := emit(*sarifPath, func(w io.Writer) error { return report.WriteSARIF(w, lint.Analyzers()) }); err != nil {
+		fatal(err)
+	}
+
+	for _, d := range fresh {
+		fmt.Println(d)
+	}
+	if len(baselined) > 0 {
+		fmt.Fprintf(os.Stderr, "3golvet: %d baselined finding(s) tolerated (frozen debt)\n", len(baselined))
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "3golvet: %d stale baseline entr%s — debt shrank; run -writebaseline to tighten the ratchet\n",
+			len(stale), plural(len(stale), "y", "ies"))
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "3golvet: %d new finding(s)\n", len(fresh))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
+	os.Exit(2)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// emit runs write against the named file, "-" meaning stdout and ""
+// meaning skip.
+func emit(path string, write func(io.Writer) error) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// load parses the target directories, pulls in the module-local
+// dependency closure as DepOnly packages (type checking and
+// cross-package call facts need it; their own findings are not
+// reported), and type-checks the result.
+func load(dirs []string, modRoot, modPath string) (*lint.Program, error) {
 	prog := lint.NewProgram()
 	for _, dir := range dirs {
 		ip, err := importPath(modRoot, modPath, dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
-			os.Exit(2)
+			return nil, err
 		}
 		if _, err := prog.LoadDir(dir, ip); err != nil {
-			fmt.Fprintf(os.Stderr, "3golvet: %v\n", err)
-			os.Exit(2)
+			return nil, err
 		}
 	}
+	if err := loadDepClosure(prog, modRoot, modPath); err != nil {
+		return nil, err
+	}
+	prog.TypeCheck()
+	return prog, nil
+}
 
-	diags := prog.Run(lint.Analyzers())
-	for _, d := range diags {
-		fmt.Println(d)
+// loadDepClosure repeatedly loads module-local imports of loaded
+// packages until the closure is complete, marking them DepOnly.
+func loadDepClosure(prog *lint.Program, modRoot, modPath string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "3golvet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	for {
+		missing := missingModuleImports(prog, modPath)
+		if len(missing) == 0 {
+			return nil
+		}
+		for _, ip := range missing {
+			dir := filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(ip, modPath+"/")))
+			if rel, err := filepath.Rel(cwd, dir); err == nil && !strings.HasPrefix(rel, "..") {
+				dir = rel // keep report paths repo-relative
+			}
+			pkg, err := prog.LoadDir(dir, ip)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue // import of a deleted package: let go/types report it
+				}
+				return err
+			}
+			if pkg != nil {
+				pkg.DepOnly = true
+			}
+		}
 	}
+}
+
+// missingModuleImports lists module-local import paths referenced by
+// loaded files but not yet loaded.
+func missingModuleImports(prog *lint.Program, modPath string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, spec := range f.AST.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if ip != modPath && !strings.HasPrefix(ip, modPath+"/") {
+					continue
+				}
+				if seen[ip] || prog.Package(ip) != nil {
+					continue
+				}
+				seen[ip] = true
+				out = append(out, ip)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// countTargets counts the non-DepOnly packages analyzed.
+func countTargets(prog *lint.Program) int {
+	n := 0
+	for _, pkg := range prog.Packages {
+		if !pkg.DepOnly {
+			n++
+		}
+	}
+	return n
 }
 
 // expandPatterns turns package patterns into a sorted, deduplicated list

@@ -215,7 +215,7 @@ func (h *Home) startPhone(i int, pc PhoneConfig, scale float64, promotion, tail 
 		ph.Proxy.OnBytes = tr.Use
 		ph.Proxy.Admit = func(context.Context) bool { return tr.ShouldAdvertise() }
 	}
-	addr, shutdown, err := ph.Proxy.ListenAndServe("127.0.0.1:0")
+	addr, shutdown, err := ph.Proxy.ListenAndServe(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: starting proxy for %s: %w", name, err)
 	}

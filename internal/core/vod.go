@@ -269,7 +269,7 @@ func (h *Home) BoostVoD(ctx context.Context, origin, masterPath string, opts VoD
 		return nil, fmt.Errorf("core: starting VoD proxy listener: %w", err)
 	}
 	srv := &http.Server{Handler: vp}
-	go srv.Serve(ln)
+	go srv.Serve(ln) //3golvet:allow goroleak — bounded by the deferred srv.Close, which makes Serve return
 	defer srv.Close()
 
 	player := &hls.Player{

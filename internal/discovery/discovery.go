@@ -59,14 +59,12 @@ type Beacon struct {
 // Start launches the beacon loop. It returns an error if the target
 // address does not resolve. Calling Start on a running beacon panics.
 func (b *Beacon) Start() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.stop != nil {
-		panic("discovery: Beacon started twice")
-	}
 	if b.Announce == nil {
 		return fmt.Errorf("discovery: Beacon has no Announce func")
 	}
+	// Resolve and dial before taking the lock: DNS resolution is network
+	// I/O, and holding b.mu across it would stall Stop (and every other
+	// Beacon entry point) behind a slow resolver.
 	addr, err := net.ResolveUDPAddr("udp", b.Target)
 	if err != nil {
 		return fmt.Errorf("discovery: resolving %q: %w", b.Target, err)
@@ -74,6 +72,12 @@ func (b *Beacon) Start() error {
 	conn, err := net.DialUDP("udp", nil, addr)
 	if err != nil {
 		return fmt.Errorf("discovery: dialing %q: %w", b.Target, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stop != nil {
+		conn.Close()
+		panic("discovery: Beacon started twice")
 	}
 	interval := b.Interval
 	if interval <= 0 {

@@ -58,8 +58,8 @@ func TestNetworkIntegratedPermitLoop(t *testing.T) {
 
 	// Device component: proxy gated on the permit, beacon gated the same
 	// way.
-	srv := &proxy.Server{Dial: &net.Dialer{}, Admit: permits.AllowedCtx}
-	proxyAddr, shutdown, err := srv.ListenAndServe("127.0.0.1:0")
+	srv := &proxy.Server{Dial: &net.Dialer{}, Admit: permits.Allowed}
+	proxyAddr, shutdown, err := srv.ListenAndServe(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestNetworkIntegratedPermitLoop(t *testing.T) {
 		Target:   discoAddr,
 		Interval: 20 * time.Millisecond,
 		Announce: func() (discovery.Announcement, bool) {
-			if !permits.Allowed() {
+			if !permits.Allowed(context.Background()) {
 				return discovery.Announcement{}, false
 			}
 			return discovery.Announcement{Name: "ph1", ProxyAddr: proxyAddr}, true
@@ -160,7 +160,7 @@ func TestFullOTTStack(t *testing.T) {
 		tr := quota.NewTracker(100 << 20)
 		trackers = append(trackers, tr)
 		srv := &proxy.Server{Dial: &net.Dialer{}, OnBytes: tr.Use, Admit: func(context.Context) bool { return tr.ShouldAdvertise() }}
-		addr, shutdown, err := srv.ListenAndServe("127.0.0.1:0")
+		addr, shutdown, err := srv.ListenAndServe(context.Background(), "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,7 +235,7 @@ func TestQuotaGateClosesMidSession(t *testing.T) {
 
 	tr := quota.NewTracker(100 * 1024) // ~1.5 responses worth
 	srv := &proxy.Server{Dial: &net.Dialer{}, OnBytes: tr.Use, Admit: func(context.Context) bool { return tr.ShouldAdvertise() }}
-	addr, shutdown, err := srv.ListenAndServe("127.0.0.1:0")
+	addr, shutdown, err := srv.ListenAndServe(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@ package linksim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"threegol/internal/simclock"
 )
@@ -332,7 +333,16 @@ func (s *Simulator) reallocate() {
 				frozen = append(frozen, f)
 			}
 		}
-		// Charge frozen flows against their links and remove them.
+		// Charge frozen flows against their links and remove them. The
+		// residual subtractions below are float folds, so the charge order
+		// must not depend on map iteration: sort by start time (unique per
+		// flow — ties broken by name for same-instant arrivals).
+		sort.Slice(frozen, func(i, j int) bool {
+			if frozen[i].start != frozen[j].start {
+				return frozen[i].start < frozen[j].start
+			}
+			return frozen[i].name < frozen[j].name
+		})
 		for _, f := range frozen {
 			for _, l := range f.path {
 				st := ls[l]

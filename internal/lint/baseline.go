@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline freezes the findings that existed when the ratchet was
+// adopted. The contract is a one-way ratchet: a finding matching a
+// baseline entry is tolerated (but stays visible in reports), a finding
+// NOT in the baseline fails the run, and a baseline entry with no
+// matching finding means the debt shrank — the run stays green and the
+// caller is invited to rewrite the baseline smaller. Entries never grow
+// implicitly: only -writebaseline regenerates the file.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry identifies frozen findings by file, analyzer and exact
+// message; Count is the number of identical findings frozen (multiset
+// semantics — line numbers deliberately do not participate, so unrelated
+// edits shifting a finding up or down do not break the ratchet).
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.File + "\x00" + e.Analyzer + "\x00" + e.Message
+}
+
+func diagKey(d Diagnostic) string {
+	return d.Position.Filename + "\x00" + d.Analyzer + "\x00" + d.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline (every finding is new), not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline freezes the given findings into a baseline, merging
+// identical (file, analyzer, message) findings into counted entries
+// sorted for a stable committed file.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, d := range diags {
+		k := diagKey(d)
+		if e := counts[k]; e != nil {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{File: d.Position.Filename, Analyzer: d.Analyzer, Message: d.Message, Count: 1}
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	b := &Baseline{Version: 1, Entries: []BaselineEntry{}}
+	for _, k := range order {
+		b.Entries = append(b.Entries, *counts[k])
+	}
+	return b
+}
+
+// Write marshals the baseline to path with a trailing newline, indented
+// for reviewable diffs.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply partitions findings against the baseline: fresh findings (not
+// frozen — these fail the ratchet), baselined findings (frozen debt,
+// tolerated), and stale entries (frozen debt that no longer exists —
+// the baseline can shrink). Matching is a multiset: an entry with
+// Count 2 absorbs at most two identical findings.
+func (b *Baseline) Apply(diags []Diagnostic) (fresh, baselined []Diagnostic, stale []BaselineEntry) {
+	remaining := make(map[string]int, len(b.Entries))
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		remaining[e.key()] += n
+	}
+	for _, d := range diags {
+		k := diagKey(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, e := range b.Entries {
+		if n := remaining[e.key()]; n > 0 {
+			left := e
+			left.Count = n
+			stale = append(stale, left)
+			remaining[e.key()] = 0
+		}
+	}
+	return fresh, baselined, stale
+}

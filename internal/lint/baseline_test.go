@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diag(file string, line int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Position: token.Position{Filename: file, Line: line},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// TestBaselineRoundTrip pins the happy path: freeze findings, write,
+// reload, and the same findings are all tolerated.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		diag("a.go", 10, "lockio", "net.Dial performs I/O while mu is locked"),
+		diag("a.go", 20, "ctxprop", "exported F performs I/O but takes no context"),
+		diag("b.go", 5, "goroleak", "go statement has no join path"),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := NewBaseline(diags).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, baselined, stale := b.Apply(diags)
+	if len(fresh) != 0 || len(baselined) != 3 || len(stale) != 0 {
+		t.Fatalf("Apply = %d fresh, %d baselined, %d stale; want 0/3/0",
+			len(fresh), len(baselined), len(stale))
+	}
+}
+
+// TestBaselineGrowthRejected: a finding absent from the baseline comes
+// back fresh — the ratchet fails the run.
+func TestBaselineGrowthRejected(t *testing.T) {
+	frozen := []Diagnostic{diag("a.go", 10, "lockio", "old debt")}
+	b := NewBaseline(frozen)
+	grown := append(frozen, diag("c.go", 7, "maporder", "new offence"))
+	fresh, baselined, stale := b.Apply(grown)
+	if len(fresh) != 1 || fresh[0].Analyzer != "maporder" {
+		t.Fatalf("fresh = %v, want the single new maporder finding", fresh)
+	}
+	if len(baselined) != 1 || len(stale) != 0 {
+		t.Fatalf("baselined=%d stale=%d, want 1/0", len(baselined), len(stale))
+	}
+}
+
+// TestBaselineShrinkAccepted: fixing frozen debt leaves a stale entry
+// and zero fresh findings — the run stays green and the baseline can be
+// rewritten smaller.
+func TestBaselineShrinkAccepted(t *testing.T) {
+	frozen := []Diagnostic{
+		diag("a.go", 10, "lockio", "old debt"),
+		diag("b.go", 3, "ctxprop", "fixed debt"),
+	}
+	b := NewBaseline(frozen)
+	fresh, baselined, stale := b.Apply(frozen[:1])
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %v, want none after a shrink", fresh)
+	}
+	if len(baselined) != 1 {
+		t.Fatalf("baselined = %d, want 1", len(baselined))
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "ctxprop" || stale[0].Count != 1 {
+		t.Fatalf("stale = %v, want the fixed ctxprop entry with count 1", stale)
+	}
+}
+
+// TestBaselineMultiset: line numbers do not participate, so identical
+// findings are counted — an entry with count 2 absorbs exactly two.
+func TestBaselineMultiset(t *testing.T) {
+	two := []Diagnostic{
+		diag("a.go", 10, "lockio", "same message"),
+		diag("a.go", 30, "lockio", "same message"),
+	}
+	b := NewBaseline(two)
+	if len(b.Entries) != 1 || b.Entries[0].Count != 2 {
+		t.Fatalf("entries = %v, want one entry with count 2", b.Entries)
+	}
+	three := append(two, diag("a.go", 50, "lockio", "same message"))
+	fresh, baselined, _ := b.Apply(three)
+	if len(baselined) != 2 || len(fresh) != 1 {
+		t.Fatalf("baselined=%d fresh=%d, want 2/1", len(baselined), len(fresh))
+	}
+	// Shifting lines must not break the match.
+	moved := []Diagnostic{
+		diag("a.go", 11, "lockio", "same message"),
+		diag("a.go", 31, "lockio", "same message"),
+	}
+	fresh, baselined, stale := b.Apply(moved)
+	if len(fresh) != 0 || len(baselined) != 2 || len(stale) != 0 {
+		t.Fatalf("after line shift: %d fresh, %d baselined, %d stale; want 0/2/0",
+			len(fresh), len(baselined), len(stale))
+	}
+}
+
+// TestLoadBaselineMissing: no file means an empty baseline, not an
+// error — first adoption needs no bootstrap step.
+func TestLoadBaselineMissing(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, _ := b.Apply([]Diagnostic{diag("a.go", 1, "lockio", "x")})
+	if len(fresh) != 1 {
+		t.Fatalf("fresh = %d, want 1 (everything is new against an empty baseline)", len(fresh))
+	}
+}

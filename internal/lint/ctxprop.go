@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPackages names the data-plane packages (by package clause name)
+// whose exported I/O surfaces must accept and thread context.Context:
+// the end-to-end X-3gol-Trace propagation (and cancellation) of the
+// flight recorder rides the context, so a ctx-less I/O helper silently
+// breaks tracing for everything above it.
+var CtxPackages = map[string]bool{
+	"scheduler": true,
+	"transfer":  true,
+	"proxy":     true,
+	"upload":    true,
+	"permit":    true,
+}
+
+// CtxProp flags exported functions in the data-plane packages that
+// perform network/file I/O (directly or through their callees) without
+// accepting a context.Context — and functions that accept one but never
+// use it, which breaks the chain just as surely. Functions taking a
+// *http.Request (or named ServeHTTP) are exempt: their context rides
+// the request.
+var CtxProp = &Analyzer{
+	Name: "ctxprop",
+	Doc:  "flags exported data-plane I/O functions that do not accept and thread context.Context",
+	Run:  runCtxProp,
+}
+
+func runCtxProp(f *File, report Reporter) {
+	prog := f.Pkg.Prog
+	if prog.Info == nil || !CtxPackages[f.Pkg.Name] {
+		return
+	}
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() || fd.Name.Name == "ServeHTTP" {
+			continue
+		}
+		obj, ok := prog.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		if named := namedReceiverType(obj); named != nil && !named.Obj().Exported() {
+			continue // methods of unexported types are not API surface
+		}
+		ctxParam, reqParam := contextParams(prog, fd)
+		if reqParam {
+			continue
+		}
+		if ctxParam != nil {
+			if !paramUsed(prog, fd.Body, ctxParam) {
+				report(fd.Name.Pos(),
+					"exported %s accepts a context.Context but never uses it: thread it into the I/O calls so traces and cancellation propagate",
+					fd.Name.Name)
+			}
+			continue
+		}
+		if !prog.ioFacts[obj].net {
+			continue
+		}
+		report(fd.Name.Pos(),
+			"exported %s performs network/file I/O but takes no context.Context: accept one so X-3gol-Trace propagation and cancellation reach the I/O",
+			fd.Name.Name)
+	}
+}
+
+// contextParams scans a function's parameters for a context.Context (the
+// object is returned so usage can be checked) and for a *http.Request.
+func contextParams(prog *Program, fd *ast.FuncDecl) (ctx types.Object, httpReq bool) {
+	if fd.Type.Params == nil {
+		return nil, false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := prog.typeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isContextType(t) {
+			for _, name := range field.Names {
+				if obj := prog.Info.Defs[name]; obj != nil {
+					ctx = obj
+				}
+			}
+			if len(field.Names) == 0 {
+				// Unnamed ctx param: present but unusable — report as
+				// unthreaded via a sentinel that can never be "used".
+				ctx = types.NewParam(field.Type.Pos(), nil, "_", t)
+			}
+		}
+		if isHTTPRequestPtr(t) {
+			httpReq = true
+		}
+	}
+	return ctx, httpReq
+}
+
+// paramUsed reports whether the parameter object is referenced anywhere
+// in the body (including inside nested function literals — capturing the
+// context counts as threading it).
+func paramUsed(prog *Program, body *ast.BlockStmt, param types.Object) bool {
+	if param.Name() == "_" {
+		return false
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && prog.Info.Uses[id] == param {
+			used = true
+		}
+		return true
+	})
+	return used
+}

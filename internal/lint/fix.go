@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Fix applies the mechanical autofixes for the given findings and
+// returns the files rewritten. Two fixes are offered — both are
+// behavior-preserving by construction, which is the autofix contract:
+//
+//   - locksafe: insert `defer x.Unlock()` directly after the flagged
+//     `x.Lock()`, but only when the function contains no manual unlock
+//     of that receiver (inserting alongside a manual unlock would
+//     double-unlock; those sites need a human).
+//   - staleallow: delete the stale analyzer name from its
+//     //3golvet:allow directive, or the whole comment when no live
+//     names remain. Suppressing nothing, the directive's removal cannot
+//     change program behavior or analyzer output.
+//
+// Findings from other analyzers are never auto-fixed: a lock held
+// across I/O or a missing context parameter is an API decision, not a
+// mechanical edit. Rewritten files are passed through go/format, so a
+// fixed tree is always gofmt-clean.
+func Fix(p *Program, diags []Diagnostic) ([]string, error) {
+	byFile := make(map[string][]Diagnostic)
+	for _, d := range diags {
+		byFile[d.Position.Filename] = append(byFile[d.Position.Filename], d)
+	}
+	var changed []string
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			ds := byFile[f.Path]
+			if len(ds) == 0 {
+				continue
+			}
+			edits := append(f.deferUnlockEdits(p, ds), f.staleAllowEdits(p, ds)...)
+			if len(edits) == 0 {
+				continue
+			}
+			ok, err := applyEdits(f.Path, edits)
+			if err != nil {
+				return changed, err
+			}
+			if ok {
+				changed = append(changed, f.Path)
+			}
+		}
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// edit replaces source bytes [start, end) with new text.
+type edit struct {
+	start, end int
+	text       string
+}
+
+// deferUnlockEdits builds insertions for this file's locksafe findings.
+func (f *File) deferUnlockEdits(p *Program, diags []Diagnostic) []edit {
+	want := make(map[int]bool) // flagged lock statement offsets
+	for _, d := range diags {
+		if d.Analyzer == "locksafe" {
+			want[d.Position.Offset] = true
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	var edits []edit
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return true
+		}
+		inspectSameFunc(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok || !want[p.Fset.Position(st.Pos()).Offset] {
+				return true
+			}
+			recv, kind, ok := lockCall(st)
+			if !ok || hasManualUnlock(body, recv, kind) {
+				return true
+			}
+			edits = append(edits, edit{
+				start: p.Fset.Position(st.End()).Offset,
+				end:   p.Fset.Position(st.End()).Offset,
+				text:  "\ndefer " + recv + "." + unlockName(kind) + "()",
+			})
+			return true
+		})
+		return true
+	})
+	return edits
+}
+
+// hasManualUnlock reports whether the function body contains a
+// non-deferred recv.Unlock()/recv.RUnlock() — the case where inserting a
+// defer would unlock twice.
+func hasManualUnlock(body *ast.BlockStmt, recv, kind string) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == unlockName(kind) && exprString(sel.X) == recv {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// staleAllowEdits builds removals for this file's staleallow findings.
+// One directive comment may carry several names; reported names are
+// dropped, live names (and any trailing prose) are kept, and a comment
+// left with no names is deleted together with its line when it stood
+// alone.
+func (f *File) staleAllowEdits(p *Program, diags []Diagnostic) []edit {
+	reported := make(map[int]bool) // offsets of flagged directive comments
+	for _, d := range diags {
+		if d.Analyzer == "staleallow" {
+			reported[d.Position.Offset] = true
+		}
+	}
+	if len(reported) == 0 {
+		return nil
+	}
+	// Group this file's allow entries by their directive comment.
+	type comment struct {
+		pos, end token.Pos
+		entries  []*allowEntry
+	}
+	byPos := make(map[token.Pos]*comment)
+	for _, entries := range f.allow {
+		for _, e := range entries {
+			c := byPos[e.pos]
+			if c == nil {
+				c = &comment{pos: e.pos, end: e.end}
+				byPos[c.pos] = c
+			}
+			c.entries = append(c.entries, e)
+		}
+	}
+	src, err := os.ReadFile(f.Path)
+	if err != nil {
+		return nil
+	}
+	var edits []edit
+	for _, c := range byPos {
+		start := p.Fset.Position(c.pos).Offset
+		if !reported[start] {
+			continue
+		}
+		var keep []string
+		for _, e := range c.entries {
+			if !staleEntry(p, e) {
+				keep = append(keep, e.name)
+			}
+		}
+		end := p.Fset.Position(c.end).Offset
+		if start < 0 || end > len(src) || start >= end {
+			continue
+		}
+		if len(keep) == 0 {
+			edits = append(edits, removeComment(src, start, end))
+			continue
+		}
+		text := string(src[start:end])
+		edits = append(edits, edit{start: start, end: end,
+			text: "//" + AllowDirective + " " + strings.Join(keep, " ") + directiveProse(text)})
+	}
+	return edits
+}
+
+// staleEntry mirrors runStaleAllow's reporting condition.
+func staleEntry(p *Program, e *allowEntry) bool {
+	return !e.used && e.name != "staleallow" && p.ran[e.name]
+}
+
+// directiveProse returns the trailing free text of a directive comment
+// (" — reason"), i.e. everything after the last analyzer name.
+func directiveProse(text string) string {
+	rest := strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "//")), AllowDirective)
+	for {
+		trimmed := strings.TrimLeft(rest, " \t")
+		field := trimmed
+		if i := strings.IndexAny(trimmed, " \t"); i >= 0 {
+			field = trimmed[:i]
+		}
+		if !isAnalyzerName(field) {
+			if trimmed == "" {
+				return ""
+			}
+			return " " + trimmed
+		}
+		rest = trimmed[len(field):]
+	}
+}
+
+// removeComment deletes src[start:end]; when the comment stands alone on
+// its line, the whole line goes (indentation and newline included).
+func removeComment(src []byte, start, end int) edit {
+	lineStart := start
+	for lineStart > 0 && src[lineStart-1] != '\n' {
+		lineStart--
+	}
+	aloneBefore := len(strings.TrimSpace(string(src[lineStart:start]))) == 0
+	lineEnd := end
+	for lineEnd < len(src) && src[lineEnd] != '\n' {
+		lineEnd++
+	}
+	aloneAfter := len(strings.TrimSpace(string(src[end:lineEnd]))) == 0
+	if aloneBefore && aloneAfter {
+		if lineEnd < len(src) {
+			lineEnd++ // take the newline too
+		}
+		return edit{start: lineStart, end: lineEnd}
+	}
+	// Inline comment: also swallow the spaces separating it from code.
+	for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	return edit{start: start, end: end}
+}
+
+// applyEdits rewrites path with the edits applied and the result passed
+// through go/format; reports whether the file changed.
+func applyEdits(path string, edits []edit) (bool, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+	out := src
+	prev := len(out) + 1
+	for _, e := range edits {
+		if e.start < 0 || e.end > len(out) || e.start > e.end || e.end > prev {
+			continue // overlapping or out-of-range edit: skip defensively
+		}
+		out = append(out[:e.start], append([]byte(e.text), out[e.end:]...)...)
+		prev = e.start
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		// An edit produced unparsable code — leave the file untouched.
+		return false, nil
+	}
+	if string(formatted) == string(src) {
+		return false, nil
+	}
+	return true, os.WriteFile(path, formatted, 0o644)
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadTemp writes src as a one-file package in a temp dir and returns
+// the analyzed program plus the file path.
+func loadTemp(t *testing.T, src string) (*Program, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixme.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram()
+	if _, err := prog.LoadDir(dir, "fixture/fixme"); err != nil {
+		t.Fatal(err)
+	}
+	prog.TypeCheck()
+	return prog, path
+}
+
+func rerun(t *testing.T, path string) []Diagnostic {
+	t.Helper()
+	prog := NewProgram()
+	if _, err := prog.LoadDir(filepath.Dir(path), "fixture/fixme"); err != nil {
+		t.Fatal(err)
+	}
+	prog.TypeCheck()
+	return prog.Run(Analyzers())
+}
+
+func TestFixDeferUnlock(t *testing.T) {
+	const src = `package fixme
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *T) Bump(grow bool) int {
+	t.mu.Lock()
+	if grow {
+		t.n++
+		return t.n
+	}
+	return -1
+}
+
+func (t *T) Manual(grow bool) int {
+	t.mu.Lock()
+	if grow {
+		t.mu.Unlock()
+		return 1
+	}
+	t.mu.Unlock()
+	return 0
+}
+`
+	prog, path := loadTemp(t, src)
+	diags := prog.Run(Analyzers())
+	changed, err := Fix(prog, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != path {
+		t.Fatalf("changed = %v, want just %s", changed, path)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	if !strings.Contains(text, "t.mu.Lock()\n\tdefer t.mu.Unlock()") {
+		t.Errorf("Bump did not gain a defer unlock:\n%s", text)
+	}
+	if strings.Count(text, "defer t.mu.Unlock()") != 1 {
+		t.Errorf("Manual (manual-unlock function) must not be edited:\n%s", text)
+	}
+	// Only Manual's finding may survive: it has manual unlocks, which the
+	// autofix deliberately refuses to touch.
+	var locksafe []Diagnostic
+	for _, d := range rerun(t, path) {
+		if d.Analyzer == "locksafe" {
+			locksafe = append(locksafe, d)
+		}
+	}
+	if len(locksafe) != 1 {
+		t.Errorf("locksafe findings after fix = %v, want exactly the Manual one", locksafe)
+	}
+}
+
+func TestFixStaleAllow(t *testing.T) {
+	const src = `package fixme
+
+import "time"
+
+func Now() time.Time {
+	return time.Now() //3golvet:allow wallclock — real time intended
+}
+
+func Quiet() int {
+	return 1 //3golvet:allow randsource — stale
+}
+
+func Also() int {
+	//3golvet:allow locksafe — stale standalone
+	return 2
+}
+
+func Mixed() time.Time {
+	return time.Now() //3golvet:allow wallclock locksafe — one live, one stale
+}
+`
+	prog, path := loadTemp(t, src)
+	diags := prog.Run(Analyzers())
+	stale := 0
+	for _, d := range diags {
+		if d.Analyzer == "staleallow" {
+			stale++
+		}
+	}
+	if stale != 3 {
+		t.Fatalf("staleallow findings = %d, want 3 (randsource, locksafe standalone, locksafe in mixed)\n%v", stale, diags)
+	}
+	if _, err := Fix(prog, diags); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	if strings.Contains(text, "randsource") || strings.Contains(text, "locksafe") {
+		t.Errorf("stale directives survived the fix:\n%s", text)
+	}
+	if !strings.Contains(text, "return 1\n") {
+		t.Errorf("code next to an inline stale directive was damaged:\n%s", text)
+	}
+	if !strings.Contains(text, "//3golvet:allow wallclock — real time intended") {
+		t.Errorf("live directive was removed:\n%s", text)
+	}
+	if !strings.Contains(text, "//3golvet:allow wallclock — one live, one stale") {
+		t.Errorf("mixed directive did not keep its live name and prose:\n%s", text)
+	}
+	for _, d := range rerun(t, path) {
+		if d.Analyzer == "staleallow" {
+			t.Errorf("staleallow finding survived the fix: %v", d)
+		}
+		if d.Analyzer == "wallclock" {
+			t.Errorf("wallclock suppression was lost by the fix: %v", d)
+		}
+	}
+}

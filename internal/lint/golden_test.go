@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"os/exec"
@@ -28,6 +29,11 @@ var goldenFixtures = []struct {
 	{name: "clean"},
 	{name: "fleetrng"},
 	{name: "faultwall"},
+	{name: "lockio"},
+	{name: "ctxprop"},
+	{name: "maporder"},
+	{name: "goroleak"},
+	{name: "staleallow"},
 }
 
 func TestGolden(t *testing.T) {
@@ -40,6 +46,7 @@ func TestGolden(t *testing.T) {
 					t.Fatalf("LoadDir(%s): %v", dir, err)
 				}
 			}
+			prog.TypeCheck()
 			var lines []string
 			for _, d := range prog.Run(Analyzers()) {
 				// Deps are loaded too, but only the fixture's own file
@@ -76,9 +83,9 @@ func TestGolden(t *testing.T) {
 // TestSuppressionScope pins the directive semantics: an allow suppresses
 // on its own line and the line below, and only for the named analyzer.
 func TestSuppressionScope(t *testing.T) {
-	f := &File{allow: map[int][]string{
-		10: {"wallclock"},
-		20: {"wallclock", "randsource"},
+	f := &File{allow: map[int][]*allowEntry{
+		10: {{name: "wallclock"}},
+		20: {{name: "wallclock"}, {name: "randsource"}},
 	}}
 	cases := []struct {
 		analyzer string
@@ -107,16 +114,16 @@ func TestVetCommand(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go tool not on PATH")
 	}
-	run := func(dir string) (string, int) {
+	run := func(args ...string) (string, int) {
 		t.Helper()
-		cmd := exec.Command("go", "run", "threegol/cmd/3golvet", dir)
+		cmd := exec.Command("go", append([]string{"run", "threegol/cmd/3golvet"}, args...)...)
 		out, err := cmd.CombinedOutput()
 		if err == nil {
 			return string(out), 0
 		}
 		ee, ok := err.(*exec.ExitError)
 		if !ok {
-			t.Fatalf("go run 3golvet %s: %v\n%s", dir, err, out)
+			t.Fatalf("go run 3golvet %s: %v\n%s", strings.Join(args, " "), err, out)
 		}
 		return string(out), ee.ExitCode()
 	}
@@ -135,5 +142,31 @@ func TestVetCommand(t *testing.T) {
 	}
 	if strings.TrimSpace(out) != "" {
 		t.Errorf("clean fixture produced output:\n%s", out)
+	}
+
+	// Ratchet flow: freeze the violating fixture's findings, then the
+	// same run turns green and the JSON artifact shows them as baselined.
+	tmp := t.TempDir()
+	base := filepath.Join(tmp, "baseline.json")
+	out, code = run("-baseline", base, "-writebaseline", "./testdata/src/locks")
+	if code != 0 {
+		t.Fatalf("-writebaseline exit = %d, want 0\n%s", code, out)
+	}
+	artifact := filepath.Join(tmp, "vet-report.json")
+	out, code = run("-baseline", base, "-json", artifact, "./testdata/src/locks")
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0 (debt is frozen)\n%s", code, out)
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not a Report: %v\n%s", err, data)
+	}
+	if len(rep.Fresh) != 0 || len(rep.Baselined) == 0 {
+		t.Errorf("artifact: %d fresh, %d baselined; want 0 fresh and the frozen locksafe debt",
+			len(rep.Fresh), len(rep.Baselined))
 	}
 }

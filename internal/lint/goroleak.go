@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak flags `go` statements that spawn work with no visible join or
+// cancellation path: the goroutine's body (or the declared function it
+// calls — a one-level summary) touches no sync.WaitGroup, performs no
+// channel operation, and never consults a context.Context. Such
+// goroutines cannot be waited for, cannot be told to stop, and leak
+// across scheduler transactions and tests; under the race detector they
+// are the classic source of "log after test ends" failures.
+//
+// Deliberate process-lifetime goroutines (a daemon's stdin feed) carry
+// //3golvet:allow goroleak with a reason.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "flags go statements with no join or cancellation path (no WaitGroup, channel, or context)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(f *File, report Reporter) {
+	prog := f.Pkg.Prog
+	if prog.Info == nil {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goStmtJoinable(prog, gs) {
+			return true
+		}
+		report(gs.Pos(),
+			"go statement has no join or cancellation path: add a WaitGroup, a result channel, a ctx-done select, or a bounded semaphore")
+		return true
+	})
+}
+
+// goStmtJoinable reports whether the spawned function shows lifecycle
+// evidence: its body (for literals) or its declaration's summary (for
+// named functions and methods) uses a WaitGroup, a channel, or a
+// context — or an argument hands it a channel/context to live on.
+func goStmtJoinable(prog *Program, gs *ast.GoStmt) bool {
+	// Arguments that carry a channel or context into the goroutine count
+	// as a lifecycle path (worker(ctx, jobs) patterns).
+	for _, arg := range gs.Call.Args {
+		if t := prog.typeOf(arg); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan || isContextType(t) {
+				return true
+			}
+		}
+	}
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return funcBodyJoinable(prog, fun.Body)
+	default:
+		if fn := prog.calleeFunc(gs.Call); fn != nil {
+			return prog.ioFacts[fn].join
+		}
+	}
+	return false
+}
+
+// funcBodyJoinable inspects a function literal's body for lifecycle
+// evidence, following one level of declared-function calls.
+func funcBodyJoinable(prog *Program, body *ast.BlockStmt) bool {
+	joinable := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joinable {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			joinable = true
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				joinable = true
+			}
+		case *ast.RangeStmt:
+			if t := prog.typeOf(node.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joinable = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinClose(prog, node) {
+				joinable = true // close(done) is the canonical completion signal
+			} else if fn := prog.calleeFunc(node); fn != nil {
+				if isWaitGroupMethod(fn) || isContextMethod(fn) || prog.ioFacts[fn].join {
+					joinable = true
+				}
+			}
+		case *ast.Ident:
+			if obj := prog.Info.Uses[node]; obj != nil && isContextType(obj.Type()) {
+				joinable = true
+			}
+		}
+		return true
+	})
+	return joinable
+}

@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ioFact classifies what blocking operations a declared function's own
+// body performs. net records "performs network or file I/O" and is
+// propagated transitively through program-local calls (a wrapper around
+// a wrapper around http.Client.Do still counts). block records direct
+// channel operations, sleeps and WaitGroup waits, and deliberately does
+// NOT propagate: one level of summary catches wrappers without painting
+// the whole call graph as blocking.
+type ioFact struct {
+	net   bool
+	block bool
+	// join records that the body participates in goroutine lifecycle
+	// management (WaitGroup use, channel operations, context use) — the
+	// goroleak evidence that a spawned function can be joined or
+	// cancelled.
+	join bool
+}
+
+// netPrefixNames match package-level net functions that hit the network
+// (dialing, listening, DNS resolution).
+var netPrefixNames = []string{"Dial", "Listen", "Resolve", "Lookup", "FileConn", "FilePacketConn", "FileListener"}
+
+// connMethodNames are the blocking methods of net connection/listener
+// types.
+var connMethodNames = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "AcceptTCP": true, "AcceptUnix": true,
+	"ReadFrom": true, "WriteTo": true, "ReadFromUDP": true, "WriteToUDP": true,
+	"ReadMsgUDP": true, "WriteMsgUDP": true,
+}
+
+// osIOFuncs are package-level os functions that hit the filesystem.
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Mkdir": true, "MkdirAll": true,
+	"Stat": true, "Lstat": true, "Truncate": true, "Symlink": true, "Link": true,
+}
+
+// httpClientFuncs are package-level net/http helpers that perform a
+// round trip.
+var httpClientFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true, "ServeTLS": true,
+}
+
+// ioCopyFuncs are io helpers that block until an arbitrary reader or
+// writer drains — under a lock they are exactly the smell lockio hunts.
+var ioCopyFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true, "ReadFull": true,
+	"ReadAtLeast": true,
+}
+
+// classifyCall reports the ioFact evidence of one resolved callee:
+// network/file I/O, or a blocking primitive (Sleep, WaitGroup.Wait).
+func classifyCall(fn *types.Func) (net, block bool) {
+	if fn == nil {
+		return false, false
+	}
+	pkg := funcPackagePath(fn)
+	name := fn.Name()
+	switch pkg {
+	case "net":
+		if namedReceiverType(fn) == nil {
+			for _, prefix := range netPrefixNames {
+				if strings.HasPrefix(name, prefix) {
+					return true, false
+				}
+			}
+			return false, false
+		}
+		return connMethodNames[name], false
+	case "net/http":
+		if named := namedReceiverType(fn); named != nil {
+			recv := named.Obj().Name()
+			switch {
+			case recv == "Client" && (name == "Do" || name == "Get" || name == "Post" ||
+				name == "PostForm" || name == "Head"):
+				return true, false
+			case recv == "Transport" && name == "RoundTrip":
+				return true, false
+			case recv == "Server" && (name == "ListenAndServe" || name == "ListenAndServeTLS" ||
+				name == "Serve" || name == "ServeTLS" || name == "Shutdown"):
+				return true, false
+			}
+			return false, false
+		}
+		return httpClientFuncs[name], false
+	case "os":
+		if named := namedReceiverType(fn); named != nil {
+			if named.Obj().Name() == "File" {
+				switch name {
+				case "Read", "ReadAt", "Write", "WriteAt", "WriteString", "Sync", "ReadDir", "Readdir":
+					return true, false
+				}
+			}
+			return false, false
+		}
+		return osIOFuncs[name], false
+	case "os/exec":
+		switch name {
+		case "Run", "Output", "CombinedOutput", "Wait", "Start":
+			return true, false
+		}
+	case "io":
+		if namedReceiverType(fn) == nil && ioCopyFuncs[name] {
+			return true, false
+		}
+	case "time":
+		if namedReceiverType(fn) == nil && name == "Sleep" {
+			return false, true
+		}
+	case "sync":
+		if receiverIs(fn, "sync", "WaitGroup") && name == "Wait" {
+			return false, true
+		}
+		// sync.Cond.Wait requires holding the mutex — the one blocking
+		// wait that is legal (and mandatory) under a lock.
+	}
+	return false, false
+}
+
+// buildIOFacts computes per-function ioFacts over every loaded package
+// (including DepOnly dependency closure, so cross-package wrappers are
+// summarized), then propagates the net bit through program-local calls
+// to a fixpoint.
+func (p *Program) buildIOFacts() {
+	p.ioFacts = make(map[*types.Func]ioFact)
+	if p.Info == nil {
+		return
+	}
+	// calls[f] lists the resolved functions f's body calls.
+	calls := make(map[*types.Func][]*types.Func)
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fact := ioFact{}
+				spawned := make(map[*ast.CallExpr]bool)
+				inspectSameFunc(fd.Body, func(n ast.Node) bool {
+					switch node := n.(type) {
+					case *ast.GoStmt:
+						// go f() does not block the spawner: f's I/O must
+						// not become this function's fact. Spawning is
+						// itself join evidence only when f is joinable,
+						// which the goroleak pass judges separately.
+						spawned[node.Call] = true
+					case *ast.CallExpr:
+						if spawned[node] {
+							return true
+						}
+						if isBuiltinClose(p, node) {
+							fact.join = true
+							return true
+						}
+						callee := p.calleeFunc(node)
+						if callee == nil {
+							return true
+						}
+						net, block := classifyCall(callee)
+						fact.net = fact.net || net
+						fact.block = fact.block || block
+						if block || isWaitGroupMethod(callee) || isContextMethod(callee) {
+							fact.join = true
+						}
+						calls[obj] = append(calls[obj], callee)
+					case *ast.SendStmt:
+						fact.block, fact.join = true, true
+					case *ast.UnaryExpr:
+						if node.Op == token.ARROW {
+							fact.block, fact.join = true, true
+						}
+					case *ast.SelectStmt:
+						fact.join = true
+						if !selectHasDefault(node) {
+							fact.block = true
+						}
+					case *ast.RangeStmt:
+						if t := p.typeOf(node.X); t != nil {
+							if _, isChan := t.Underlying().(*types.Chan); isChan {
+								fact.block, fact.join = true, true
+							}
+						}
+					}
+					return true
+				})
+				p.ioFacts[obj] = fact
+			}
+		}
+	}
+	// Propagate the net bit through program-local calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			fact := p.ioFacts[fn]
+			if fact.net {
+				continue
+			}
+			for _, callee := range callees {
+				if p.ioFacts[callee].net {
+					fact.net = true
+					p.ioFacts[fn] = fact
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// isBuiltinClose reports whether call is the close builtin — closing a
+// channel is the canonical completion signal, so it counts as goroutine
+// lifecycle (join) evidence.
+func isBuiltinClose(p *Program, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved: syntactic match is close enough
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupMethod reports whether fn is any method of sync.WaitGroup.
+func isWaitGroupMethod(fn *types.Func) bool {
+	return receiverIs(fn, "sync", "WaitGroup")
+}
+
+// isContextMethod reports whether fn is a method of context.Context
+// (Done, Err, Deadline, Value) — evidence of a cancellation path.
+func isContextMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isContextType(sig.Recv().Type())
+}
+
+// callBlockingIO classifies one call expression as seen from a lock
+// region: direct stdlib I/O or blocking primitives, plus the one-level
+// (block) and transitive (net) summaries of program-local callees.
+// The returned description names what will block, "" when nothing does.
+func (p *Program) callBlockingIO(call *ast.CallExpr) string {
+	callee := p.calleeFunc(call)
+	if callee == nil {
+		return ""
+	}
+	net, block := classifyCall(callee)
+	label := calleeLabel(callee)
+	switch {
+	case net:
+		return label + " performs I/O"
+	case block:
+		return label + " blocks"
+	}
+	fact := p.ioFacts[callee]
+	switch {
+	case fact.net:
+		return label + " performs I/O (via its callees)"
+	case fact.block:
+		return label + " blocks on a channel or wait"
+	}
+	return ""
+}
+
+// calleeLabel renders a callee for messages: pkg.Func or Type.Method.
+func calleeLabel(fn *types.Func) string {
+	if named := namedReceiverType(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockIO flags mutexes held across calls that perform network/file I/O
+// or block on channels. Holding a lock across a round trip serialises
+// every other locker behind a remote peer — the data-plane antipattern
+// the ROADMAP calls out ("stop holding locks across I/O"). Receivers are
+// resolved via go/types (sync.Mutex, sync.RWMutex, sync.Locker), and a
+// one-level call summary catches wrappers: a call to a function whose
+// own body does I/O (or, transitively, reaches I/O through program-local
+// calls) is flagged even though the I/O is not lexically under the lock.
+//
+// The lock region is lexical: from the Lock() statement to the matching
+// Unlock() on the same receiver in the same function, or to the end of
+// the function when the Unlock is deferred. Function literals inside the
+// region are not inspected (a spawned goroutine does not hold the lock).
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "flags network/file I/O and channel blocking while a mutex is held",
+	Run:  runLockIO,
+}
+
+func runLockIO(f *File, report Reporter) {
+	prog := f.Pkg.Prog
+	if prog.Info == nil {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return true
+		}
+		for _, region := range lockRegions(prog, body) {
+			checkLockRegion(prog, body, region, report)
+		}
+		return true
+	})
+}
+
+// lockRegion is one lexical span during which a mutex is held.
+type lockRegion struct {
+	recv       string    // rendered receiver expression, for messages
+	start, end token.Pos // (lock statement end, unlock position / body end]
+}
+
+// lockRegions finds the mutex-held spans of one function body. Lock
+// statements inside nested function literals belong to those literals.
+func lockRegions(prog *Program, body *ast.BlockStmt) []lockRegion {
+	type lockSite struct {
+		recv string
+		kind string
+		pos  token.Pos // end of the Lock() statement
+	}
+	var locks []lockSite
+	unlocks := make(map[string][]token.Pos) // recv+kind → Unlock positions
+	deferred := make(map[string]bool)       // recv+kind → deferred Unlock present
+	inspectSameFunc(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if recv, kind, ok := mutexCall(prog, st.X, "Lock", "RLock"); ok {
+				locks = append(locks, lockSite{recv: recv, kind: kind, pos: st.End()})
+			} else if recv, kind, ok := mutexCall(prog, st.X, "Unlock", "RUnlock"); ok {
+				unlocks[recv+"\x00"+kind] = append(unlocks[recv+"\x00"+kind], st.Pos())
+			}
+		case *ast.DeferStmt:
+			if recv, kind, ok := mutexCall(prog, st.Call, "Unlock", "RUnlock"); ok {
+				deferred[recv+"\x00"+kind] = true
+			}
+		}
+		return true
+	})
+	var regions []lockRegion
+	for _, l := range locks {
+		key := l.recv + "\x00" + unlockName(l.kind)
+		end := body.End()
+		if !deferred[key] {
+			// First matching Unlock lexically after the Lock bounds the
+			// region; none found leaves the region open to body end.
+			for _, up := range unlocks[key] {
+				if up > l.pos && up < end {
+					end = up
+				}
+			}
+		}
+		regions = append(regions, lockRegion{recv: l.recv, start: l.pos, end: end})
+	}
+	return regions
+}
+
+// mutexCall matches expr as recv.<name>() where recv's type is a sync
+// mutex (sync.Mutex, sync.RWMutex, or the sync.Locker interface) and
+// name is one of the given method names.
+func mutexCall(prog *Program, expr ast.Expr, names ...string) (recv, name string, ok bool) {
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return "", "", false
+	}
+	fn := prog.calleeFunc(call)
+	if fn == nil || !isMutexType(fn) {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// asyncCalls collects the direct call expressions of go and defer
+// statements in one function body: `go f()` does not block the spawner,
+// and a deferred call runs at function exit, not at its lexical
+// position. (Their argument expressions still evaluate inline and are
+// still inspected.)
+func asyncCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	async := make(map[*ast.CallExpr]bool)
+	inspectSameFunc(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			async[st.Call] = true
+		case *ast.DeferStmt:
+			async[st.Call] = true
+		}
+		return true
+	})
+	return async
+}
+
+// isMutexType reports whether fn is a method of sync.Mutex, sync.RWMutex
+// or the sync.Locker interface.
+func isMutexType(fn *types.Func) bool {
+	if receiverIs(fn, "sync", "Mutex") || receiverIs(fn, "sync", "RWMutex") {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named, ok := sig.Recv().Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Locker" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkLockRegion reports blocking operations lexically inside a lock
+// region. Condition-variable waits are exempt (sync.Cond.Wait must hold
+// the mutex), and nested function literals are skipped.
+func checkLockRegion(prog *Program, body *ast.BlockStmt, region lockRegion, report Reporter) {
+	async := asyncCalls(body)
+	inspectSameFunc(body, func(n ast.Node) bool {
+		if n.Pos() <= region.start || n.End() > region.end {
+			// Keep descending: children may still land inside the region.
+			return true
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if async[node] {
+				return true // go f() spawns f; the spawner does not block
+			}
+			if desc := prog.callBlockingIO(node); desc != "" {
+				report(node.Pos(), "%s while %s is locked: release the lock before blocking", desc, region.recv)
+			}
+		case *ast.SendStmt:
+			report(node.Pos(), "channel send while %s is locked: release the lock before blocking", region.recv)
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				report(node.Pos(), "channel receive while %s is locked: release the lock before blocking", region.recv)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				report(node.Pos(), "blocking select while %s is locked: release the lock before blocking", region.recv)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags map iteration feeding order-sensitive sinks inside the
+// simulation packages — the #1 source of non-bit-identical merge-reduce.
+// Go randomises map iteration order per run, so inside a SimPackages
+// function a `range` over a map must not, per iteration:
+//
+//   - append to a slice declared outside the loop (unless the slice is
+//     passed to sort.*/slices.Sort* later in the same function — the
+//     collect-then-sort idiom stays legal);
+//   - write through an encoder or writer (fmt.Fprint*, Write*, Encode);
+//   - call a Merge method (Mergeable accumulators must fold in shard
+//     order, never map order).
+//
+// Order-insensitive folds (summing into a scalar, writing into another
+// map by the same key) are fine and not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map-ordered writes to slices, encoders or Merge calls in simulation packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(f *File, report Reporter) {
+	prog := f.Pkg.Prog
+	if prog.Info == nil || !SimPackages[f.Pkg.Name] {
+		return
+	}
+	// Walk function by function so the collect-then-sort suppression can
+	// see the statements following each range loop.
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return true
+		}
+		inspectSameFunc(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := prog.typeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(prog, body, rng, report)
+			return true
+		})
+		return true
+	})
+}
+
+func checkMapRangeBody(prog *Program, funcBody *ast.BlockStmt, rng *ast.RangeStmt, report Reporter) {
+	inspectSameFunc(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(prog, call) || i >= len(node.Lhs) {
+					continue
+				}
+				target, ok := ast.Unparen(node.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := prog.Info.Uses[target]
+				if obj == nil {
+					obj = prog.Info.Defs[target]
+				}
+				if obj == nil || obj.Pos() == 0 {
+					continue
+				}
+				if obj.Pos() > rng.Pos() && obj.Pos() < rng.End() {
+					continue // loop-local slice: order cannot escape
+				}
+				if sortedAfter(prog, funcBody, obj, rng.End()) {
+					continue // collect-then-sort idiom
+				}
+				report(node.Pos(),
+					"append to %s inside range over a map: iteration order is random, so the slice order is nondeterministic — sort it afterwards or iterate sorted keys",
+					target.Name)
+			}
+		case *ast.CallExpr:
+			if desc := orderSensitiveSink(prog, node); desc != "" {
+				report(node.Pos(),
+					"%s inside range over a map: iteration order is random, so the output order is nondeterministic — iterate sorted keys",
+					desc)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(prog *Program, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := prog.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved: syntactic match is close enough
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// orderSensitiveSink classifies a call inside a map-range body as an
+// order-sensitive write: fmt.Fprint*, writer/encoder methods, or a
+// Merge call (shard-order contract).
+func orderSensitiveSink(prog *Program, call *ast.CallExpr) string {
+	fn := prog.calleeFunc(call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if funcPackagePath(fn) == "fmt" && namedReceiverType(fn) == nil {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name
+		}
+		return ""
+	}
+	if namedReceiverType(fn) == nil {
+		return ""
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return calleeLabel(fn)
+	case "Merge":
+		return calleeLabel(fn) + " (merge-reduce must fold in shard order)"
+	}
+	return ""
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call after pos within the function body — the collect-then-sort idiom
+// that makes a map-ordered append deterministic again.
+func sortedAfter(prog *Program, funcBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	inspectSameFunc(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := prog.calleeFunc(call)
+		if fn == nil || namedReceiverType(fn) != nil {
+			return true
+		}
+		pkg := funcPackagePath(fn)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && prog.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

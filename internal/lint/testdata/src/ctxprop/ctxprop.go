@@ -1,0 +1,68 @@
+// Fixture: context propagation through an exported data-plane surface.
+// The package clause says "transfer" because ctxprop scopes by package
+// name to the repo's data-plane packages.
+package transfer
+
+import (
+	"context"
+	"net/http"
+	"os"
+)
+
+// Fetch performs a round trip with no context: flagged.
+func Fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}
+
+// Read reaches I/O through a helper; the transitive fact still flags it.
+func Read(path string) ([]byte, error) {
+	return readFile(path)
+}
+
+func readFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Unused accepts a context but never threads it: flagged.
+func Unused(ctx context.Context, path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Good threads its context into the request.
+func Good(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// Forward is handler-shaped: its context rides the request.
+func Forward(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.DefaultClient.Do(r.Clone(r.Context()))
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// Weigh does no I/O: no context needed.
+func Weigh(sizes []int64) int64 {
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	return total
+}
+
+// unexportedFetch is not API surface.
+func unexportedFetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}
+
+// Legacy is suppressed: the wire protocol freezes its shape.
+//
+//3golvet:allow ctxprop — fixture: protocol-frozen helper
+func Legacy(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

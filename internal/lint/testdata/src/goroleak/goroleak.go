@@ -1,0 +1,69 @@
+// Fixture: go statements with and without a join or cancellation path.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Fire spawns with no lifecycle at all: flagged.
+func Fire() {
+	go func() {
+		work()
+	}()
+}
+
+// NamedLeak spawns a declared function with no lifecycle: flagged.
+func NamedLeak() {
+	go work()
+}
+
+// Waited joins through a WaitGroup.
+func Waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Signalled closes a done channel.
+func Signalled() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// Cancellable watches its context.
+func Cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// WorkerArg hands the goroutine a channel to live on.
+func WorkerArg(jobs chan int) {
+	go drain(jobs)
+}
+
+func drain(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// Pinned is suppressed: deliberately process-lifetime.
+func Pinned() {
+	go work() //3golvet:allow goroleak — fixture: process-lifetime worker
+}

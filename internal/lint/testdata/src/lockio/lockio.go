@@ -1,0 +1,96 @@
+// Fixture: network/file I/O and channel blocking while a mutex is held.
+package lockio
+
+import (
+	"net"
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// deferHeld holds the lock to function end, so the dial is under it.
+func (s *server) deferHeld(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// manualRegion: I/O before the unlock is flagged, after it is fine.
+func (s *server) manualRegion(path string) {
+	s.mu.Lock()
+	early, _ := os.Stat(path)
+	s.mu.Unlock()
+	late, _ := os.Stat(path)
+	_, _ = early, late
+}
+
+// fetch wraps the dial; callers one level up are still caught.
+func fetch(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+func (s *server) viaWrapper(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn, err := fetch(addr)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// channelHeld blocks on channel operations under the lock.
+func (s *server) channelHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v
+	<-s.ch
+	s.mu.Unlock()
+}
+
+// condWait is the one blocking wait that must hold the mutex.
+func condWait(c *sync.Cond) {
+	c.L.Lock()
+	c.Wait()
+	c.L.Unlock()
+}
+
+// spawns does not block: the goroutine runs without the lock.
+func (s *server) spawns(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go pump(addr, s.ch)
+}
+
+func pump(addr string, ch chan int) {
+	conn, err := fetch(addr)
+	if err == nil {
+		conn.Close()
+	}
+	ch <- 1
+}
+
+// suppressed carries an explicit annotation.
+func (s *server) suppressed(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn, _ := net.Dial("tcp", addr) //3golvet:allow lockio — fixture: intentional dial under lock
+	_ = conn
+}
+
+// afterUnlockViaDefer: with no deferred unlock and no manual unlock the
+// region runs to the body end, but a lock released before the I/O is
+// clean.
+func (s *server) released(path string) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	data, _ := os.ReadFile(path)
+	_ = data
+}

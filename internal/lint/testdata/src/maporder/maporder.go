@@ -1,0 +1,79 @@
+// Fixture: map iteration feeding order-sensitive sinks. The package
+// clause says "fleet" because maporder scopes to simulation packages.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys appends in map order with no later sort: flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the idiom stays legal.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump writes through an encoder in map order: flagged.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Total folds order-insensitively into a scalar: clean.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Counter is a merge-reduce accumulator.
+type Counter struct{ n int }
+
+// Merge folds src into c.
+func (c *Counter) Merge(src *Counter) { c.n += src.n }
+
+// Fold merges in map order: flagged (shard-order contract).
+func Fold(dst *Counter, m map[string]*Counter) {
+	for _, src := range m {
+		dst.Merge(src)
+	}
+}
+
+// PerEntry appends only to a slice scoped inside the loop body: clean.
+func PerEntry(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		for _, v := range vs {
+			tmp = append(tmp, v)
+		}
+		total += len(tmp)
+	}
+	return total
+}
+
+// Quick is suppressed: the caller sorts.
+func Quick(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //3golvet:allow maporder — fixture: caller sorts the result
+	}
+	return out
+}

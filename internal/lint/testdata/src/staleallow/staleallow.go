@@ -1,0 +1,22 @@
+// Fixture: allow directives that still earn their keep versus ones that
+// suppress nothing.
+package staleallow
+
+import "time"
+
+// Uptime's directive is used (wallclock fires here without it): clean.
+func Uptime() time.Time {
+	return time.Now() //3golvet:allow wallclock — fixture: real time intended
+}
+
+// Quiet's directive suppresses nothing: flagged by staleallow.
+func Quiet() int {
+	x := 1 //3golvet:allow randsource — fixture: stale on purpose
+	return x
+}
+
+// partial directive: wallclock is used, locksafe is stale — only the
+// stale name is reported.
+func Mixed() time.Time {
+	return time.Now() //3golvet:allow wallclock locksafe — fixture: one live, one stale
+}

@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TypeCheck runs go/types over every loaded package, in dependency order,
+// and records the results on Program.Info / Package.Types. It never fails
+// the analysis: packages that do not fully type-check (fixtures with
+// deliberate mistakes, partial loads) get partial type information, and
+// the type-aware analyzers degrade to silence where resolution is
+// missing. Type errors are collected on Program.TypeErrors for tests.
+//
+// Imports are resolved three ways, in order:
+//
+//  1. packages loaded into this Program (the repo's own packages and
+//     test fixtures), by import path;
+//  2. compiler export data located via `go list -deps -export` — one
+//     subprocess for the whole program, reading the build cache that
+//     check.sh has already warmed with `go build ./...`;
+//  3. the go/importer source importer, compiling the dependency from
+//     source — slow, but keeps 3golvet working on a cold cache or
+//     without a go binary on PATH for `go list`.
+//
+// Everything stays offline: both fallbacks read only GOROOT and the
+// local build cache.
+func (p *Program) TypeCheck() {
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	imp := &programImporter{prog: p, exports: resolveExports(p.externalImports())}
+	conf := types.Config{
+		Importer:         imp,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	for _, pkg := range p.topoOrder() {
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			files = append(files, f.AST)
+		}
+		tp, _ := conf.Check(pkg.ImportPath, p.Fset, files, p.Info)
+		pkg.Types = tp // non-nil even on errors (partial package)
+	}
+	p.buildIOFacts()
+}
+
+// externalImports collects every import path referenced by loaded files
+// that is not itself a loaded package.
+func (p *Program) externalImports() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, spec := range f.AST.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if path == "C" || seen[path] || p.byPath[path] != nil {
+					continue
+				}
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoOrder sorts loaded packages so every package follows the loaded
+// packages it imports (cycles cannot occur in valid Go; on a malformed
+// input the residue is appended in load order).
+func (p *Program) topoOrder() []*Package {
+	deps := make(map[*Package][]*Package, len(p.Packages))
+	for _, pkg := range p.Packages {
+		seen := make(map[*Package]bool)
+		for _, f := range pkg.Files {
+			for _, spec := range f.AST.Imports {
+				if d := p.byPath[strings.Trim(spec.Path.Value, `"`)]; d != nil && d != pkg && !seen[d] {
+					seen[d] = true
+					deps[pkg] = append(deps[pkg], d)
+				}
+			}
+		}
+	}
+	var order []*Package
+	done := make(map[*Package]bool)
+	var visit func(*Package, map[*Package]bool)
+	visit = func(pkg *Package, path map[*Package]bool) {
+		if done[pkg] || path[pkg] {
+			return
+		}
+		path[pkg] = true
+		for _, d := range deps[pkg] {
+			visit(d, path)
+		}
+		delete(path, pkg)
+		done[pkg] = true
+		order = append(order, pkg)
+	}
+	for _, pkg := range p.Packages {
+		visit(pkg, make(map[*Package]bool))
+	}
+	return order
+}
+
+// resolveExports maps import paths to compiler export-data files via one
+// `go list -deps -export` invocation. A missing go binary, a failed
+// listing, or an unbuildable path simply leaves entries absent and the
+// source-importer fallback takes over per path.
+func resolveExports(paths []string) map[string]string {
+	exports := make(map[string]string)
+	if len(paths) == 0 {
+		return exports
+	}
+	args := append([]string{"list", "-deps", "-export",
+		"-f", "{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}"}, paths...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		return exports
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		if i := strings.IndexByte(line, '='); i > 0 {
+			exports[line[:i]] = line[i+1:]
+		}
+	}
+	return exports
+}
+
+// srcImporter is the shared source-importer fallback. It type-checks
+// stdlib packages from GOROOT source, which is expensive, so one
+// instance (with its internal cache) is shared by every Program in the
+// process — golden tests construct many Programs.
+var (
+	srcImporterOnce sync.Once
+	srcImporter     types.ImporterFrom
+	srcImporterMu   sync.Mutex
+)
+
+func sharedSourceImporter() types.ImporterFrom {
+	srcImporterOnce.Do(func() {
+		// A dedicated FileSet keeps stdlib positions out of program
+		// diagnostics; go/types does not require a shared FileSet
+		// across imported packages.
+		srcImporter = importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
+	})
+	return srcImporter
+}
+
+// programImporter resolves imports for Program.TypeCheck.
+type programImporter struct {
+	prog    *Program
+	exports map[string]string // import path → export data file
+	gcOnce  sync.Once
+	gc      types.ImporterFrom
+	cache   map[string]*types.Package
+}
+
+func (pi *programImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, "", 0)
+}
+
+func (pi *programImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg := pi.prog.byPath[path]; pkg != nil {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: import cycle or unchecked dependency %q", path)
+		}
+		return pkg.Types, nil
+	}
+	if pi.cache == nil {
+		pi.cache = make(map[string]*types.Package)
+	}
+	if tp, ok := pi.cache[path]; ok {
+		return tp, nil
+	}
+	if _, ok := pi.exports[path]; ok {
+		pi.gcOnce.Do(func() {
+			pi.gc = importer.ForCompiler(token.NewFileSet(), "gc", pi.lookup).(types.ImporterFrom)
+		})
+		if tp, err := pi.gc.ImportFrom(path, dir, mode); err == nil {
+			pi.cache[path] = tp
+			return tp, nil
+		}
+	}
+	srcImporterMu.Lock()
+	defer srcImporterMu.Unlock()
+	tp, err := sharedSourceImporter().ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	pi.cache[path] = tp
+	return tp, nil
+}
+
+func (pi *programImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := pi.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// ----- type lookup helpers shared by the type-aware analyzers -----
+
+// typeOf returns the type of e, or nil when type information is missing.
+func (p *Program) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the function or method named by a call expression,
+// through plain identifiers, selector expressions and parentheses.
+// Calls through function values, interfaces with no static callee, or
+// missing type info yield nil.
+func (p *Program) calleeFunc(call *ast.CallExpr) *types.Func {
+	if p.Info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPackagePath returns the import path of the package declaring fn
+// ("" for builtins or missing info).
+func funcPackagePath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request (handlers get
+// their context from the request, so they are exempt from ctxprop).
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// namedReceiverType returns the defined type of fn's receiver, looking
+// through a pointer ("" when fn is not a method).
+func namedReceiverType(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// receiverIs reports whether fn is a method on pkgPath.typeName
+// (through a pointer receiver).
+func receiverIs(fn *types.Func, pkgPath, typeName string) bool {
+	named := namedReceiverType(fn)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -178,15 +178,11 @@ func (c *Client) requestTimeout() time.Duration {
 
 // Allowed reports whether the device currently holds a valid permit,
 // refreshing from the backend as needed. It is safe for concurrent use
-// and suitable as a discovery.Beacon gate.
-func (c *Client) Allowed() bool {
-	return c.AllowedCtx(context.Background())
-}
-
-// AllowedCtx is Allowed carrying a request context, so a refresh made
-// on behalf of a traced proxy request propagates that trace to the
-// backend (the proxy.Server Admit hook shape).
-func (c *Client) AllowedCtx(ctx context.Context) bool {
+// and matches the proxy.Server Admit hook shape. The context rides into
+// the backend refresh, so a refresh made on behalf of a traced proxy
+// request propagates that trace (and its cancellation) to the permit
+// server — there is deliberately no context-free variant.
+func (c *Client) Allowed(ctx context.Context) bool {
 	if ok, fresh := c.cached(); fresh {
 		return ok
 	}

@@ -1,6 +1,7 @@
 package permit
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -26,7 +27,7 @@ func TestBackendGrantsBelowThreshold(t *testing.T) {
 	defer srv.Close()
 
 	c := &Client{BackendURL: srv.URL, Device: "d1", Cell: "c1"}
-	if !c.Allowed() {
+	if !c.Allowed(context.Background()) {
 		t.Error("permit denied below threshold")
 	}
 	grants, denials := b.Stats()
@@ -38,12 +39,12 @@ func TestBackendGrantsBelowThreshold(t *testing.T) {
 	mu.Lock()
 	util = 0.9
 	mu.Unlock()
-	if !c.Allowed() {
+	if !c.Allowed(context.Background()) {
 		t.Error("cached permit should still be honoured")
 	}
 	// Force refresh: now denied.
 	c.Invalidate()
-	if c.Allowed() {
+	if c.Allowed(context.Background()) {
 		t.Error("permit granted above threshold after refresh")
 	}
 }
@@ -53,7 +54,7 @@ func TestBackendDeniesAboveThreshold(t *testing.T) {
 	srv := httptest.NewServer(b)
 	defer srv.Close()
 	c := &Client{BackendURL: srv.URL, Device: "d", Cell: "c"}
-	if c.Allowed() {
+	if c.Allowed(context.Background()) {
 		t.Error("permit granted for congested cell")
 	}
 	if g, d := b.Stats(); g != 0 || d != 1 {
@@ -71,21 +72,21 @@ func TestPermitExpiresAfterTTL(t *testing.T) {
 	srv := httptest.NewServer(b)
 	defer srv.Close()
 	c := &Client{BackendURL: srv.URL, Device: "d", Cell: "c"}
-	if !c.Allowed() {
+	if !c.Allowed(context.Background()) {
 		t.Fatal("initial grant failed")
 	}
 	mu.Lock()
 	util = 0.99
 	mu.Unlock()
 	time.Sleep(80 * time.Millisecond) // past TTL
-	if c.Allowed() {
+	if c.Allowed(context.Background()) {
 		t.Error("expired permit not refreshed (should now be denied)")
 	}
 }
 
 func TestClientFailsSafeOnBackendDown(t *testing.T) {
 	c := &Client{BackendURL: "http://127.0.0.1:1", Device: "d", Cell: "c"}
-	if c.Allowed() {
+	if c.Allowed(context.Background()) {
 		t.Error("unreachable backend must deny onloading")
 	}
 }
@@ -134,11 +135,11 @@ func TestDeniedPermitRecheckedAfterCooldown(t *testing.T) {
 	srv := httptest.NewServer(b)
 	defer srv.Close()
 	c := &Client{BackendURL: srv.URL, Device: "d", Cell: "c"}
-	if c.Allowed() {
+	if c.Allowed(context.Background()) {
 		t.Fatal("should be denied")
 	}
 	// Within the cool-down, no new backend call.
-	c.Allowed()
+	c.Allowed(context.Background())
 	mu.Lock()
 	if calls != 1 {
 		t.Errorf("backend called %d times within cool-down, want 1", calls)
@@ -168,7 +169,7 @@ func TestClientRetriesTransient5xx(t *testing.T) {
 	reg := obs.NewRegistry()
 	m := NewMetrics(reg)
 	c := &Client{BackendURL: srv.URL, Device: "d1", Cell: "c1", Metrics: m}
-	if !c.Allowed() {
+	if !c.Allowed(context.Background()) {
 		t.Fatal("permit denied despite successful retry")
 	}
 	mu.Lock()
@@ -193,7 +194,7 @@ func TestClientRetriesConnectionRefused(t *testing.T) {
 	c := &Client{BackendURL: url, Device: "d1", Cell: "c1", Metrics: m,
 		RequestTimeout: 200 * time.Millisecond}
 	start := time.Now()
-	if c.Allowed() {
+	if c.Allowed(context.Background()) {
 		t.Fatal("permit granted with a dead backend")
 	}
 	if d := time.Since(start); d > 2*time.Second {
@@ -219,7 +220,7 @@ func TestClientDoesNotRetry4xx(t *testing.T) {
 	defer srv.Close()
 
 	c := &Client{BackendURL: srv.URL, Device: "d1", Cell: "c1"}
-	if c.Allowed() {
+	if c.Allowed(context.Background()) {
 		t.Fatal("permit granted on 403")
 	}
 	mu.Lock()

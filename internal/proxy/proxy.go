@@ -249,17 +249,32 @@ func removeHopHeaders(h http.Header) {
 }
 
 // ListenAndServe starts the proxy on addr and returns the bound listener
-// address (useful with ":0") and a shutdown func.
-func (s *Server) ListenAndServe(addr string) (string, func() error, error) {
-	ln, err := net.Listen("tcp", addr)
+// address (useful with ":0") and a shutdown func. ctx scopes the bind
+// and becomes the base context of every served request, so trace
+// propagation and cancellation arriving with the caller's context reach
+// the serve loop. The shutdown func joins the serve goroutine and
+// surfaces its error when the server died for a reason other than the
+// shutdown itself.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) (string, func() error, error) {
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: s, ErrorLog: log.New(io.Discard, "", 0)}
-	go srv.Serve(ln)
+	srv := &http.Server{
+		Handler:     s,
+		ErrorLog:    log.New(io.Discard, "", 0),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	return ln.Addr().String(), func() error {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		err := srv.Shutdown(sctx)
+		if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		return err
 	}, nil
 }

@@ -19,7 +19,7 @@ import (
 // routes through it, plus a shutdown func.
 func newProxyClient(t *testing.T, s *Server) (*http.Client, func()) {
 	t.Helper()
-	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	addr, shutdown, err := s.ListenAndServe(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestProxyUpstreamFailure(t *testing.T) {
 
 func TestProxyRejectsRelativeForm(t *testing.T) {
 	s := &Server{Dial: &net.Dialer{}}
-	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	addr, shutdown, err := s.ListenAndServe(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestProxyRejectsRelativeForm(t *testing.T) {
 
 func TestProxyMisconfiguredDialer(t *testing.T) {
 	s := &Server{}
-	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	addr, shutdown, err := s.ListenAndServe(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestProxyDebugRouteBypassesAdmitGate(t *testing.T) {
 		Metrics: NewMetrics(reg),
 		Debug:   mux,
 	}
-	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	addr, shutdown, err := s.ListenAndServe(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -99,11 +99,24 @@ func Fig11a(tr *traces.DSLAMTrace, cfg Config) []UserOutcome {
 	cfg = cfg.withDefaults()
 	model := cfg.model(cfg.DSLBits)
 
-	var outcomes []UserOutcome
-	for userID, sessions := range tr.SessionsByUser() {
-		outcomes = append(outcomes, userDay(userID, sessions, model, cfg.budget()))
+	byUser := tr.SessionsByUser()
+	outcomes := make([]UserOutcome, 0, len(byUser))
+	for _, userID := range sortedUserIDs(byUser) {
+		outcomes = append(outcomes, userDay(userID, byUser[userID], model, cfg.budget()))
 	}
 	return outcomes
+}
+
+// sortedUserIDs fixes the subscriber iteration order: the outcome slices
+// feed CDFs and golden comparisons, so map order must not leak into
+// them.
+func sortedUserIDs(byUser map[int][]traces.VideoSession) []int {
+	ids := make([]int, 0, len(byUser))
+	for id := range byUser {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // userDay folds one subscriber's sessions through the boost model with a
@@ -309,13 +322,14 @@ func AssignLineRates(tr *traces.DSLAMTrace, pop dsl.Population, seed int64) map[
 func Fig11aHeterogeneous(tr *traces.DSLAMTrace, rates map[int]float64, cfg Config) []UserOutcome {
 	cfg = cfg.withDefaults()
 
-	var outcomes []UserOutcome
-	for userID, sessions := range tr.SessionsByUser() {
+	byUser := tr.SessionsByUser()
+	outcomes := make([]UserOutcome, 0, len(byUser))
+	for _, userID := range sortedUserIDs(byUser) {
 		dslRate := cfg.DSLBits
 		if r, ok := rates[userID]; ok && r > 0 {
 			dslRate = r
 		}
-		outcomes = append(outcomes, userDay(userID, sessions, cfg.model(dslRate), cfg.budget()))
+		outcomes = append(outcomes, userDay(userID, byUser[userID], cfg.model(dslRate), cfg.budget()))
 	}
 	return outcomes
 }

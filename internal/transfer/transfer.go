@@ -168,7 +168,10 @@ func (p *UploadPath) transfer(ctx context.Context, item scheduler.Item, progress
 	mw := multipart.NewWriter(pw)
 	counter := &countingReader{r: content, fn: progress}
 
-	go func() {
+	// The writer goroutine's lifecycle is the pipe itself: every exit path
+	// closes pw, which unblocks the POST body reader, and Client.Do below
+	// cannot return before the pipe is closed or broken.
+	go func() { //3golvet:allow goroleak — joined through the pipe close, not a channel
 		defer content.Close()
 		field := p.Field
 		if field == "" {

@@ -9,6 +9,8 @@
 #      time and headline metrics
 #   3. BenchmarkFleetThroughput   — go test -bench engine scaling
 #      (homes/s at shard widths 1, 4, NumCPU)
+#   4. 3golvet -json              — analyzer wall time over the whole
+#      module (vet_seconds), so pass regressions show up in the diff
 #
 # It also writes BENCH_chaos.json: the chaos harness run under the
 # hostile scenario, tracking the fault-injection engine's wall time and
@@ -31,7 +33,14 @@ sim=$(mktemp)
 bench=$(mktemp)
 tput=$(mktemp)
 chaos=$(mktemp)
-trap 'rm -f "$fleet" "$sim" "$bench" "$tput" "$chaos"' EXIT
+vet=$(mktemp)
+trap 'rm -f "$fleet" "$sim" "$bench" "$tput" "$chaos" "$vet"' EXIT
+
+echo '==> 3golvet -json (analyzer wall time)'
+# The analyzer's own latency is part of the perf trajectory: check.sh
+# runs it on every push, so a pass that regresses from seconds to
+# minutes is a real cost. elapsed_seconds comes from the tool's report.
+go run ./cmd/3golvet -baseline lint/baseline.json -json "$vet" ./...
 
 echo '==> 3golfleet -json (engine throughput + aggregates)'
 go run ./cmd/3golfleet -homes 18000 -days 1 -shards 8 -json > "$fleet"
@@ -56,7 +65,9 @@ jq -n \
     --slurpfile fleet "$fleet" \
     --slurpfile sim "$sim" \
     --slurpfile tput "$tput" \
+    --slurpfile vet "$vet" \
     '{generated_by: "scripts/bench.sh",
+      vet_seconds: $vet[0].elapsed_seconds,
       fleet_throughput: $tput,
       fleet_report: $fleet[0],
       fig11a: $sim[0]}' > BENCH_fleet.json

@@ -6,6 +6,8 @@
 #   2. go vet      — stdlib static checks
 #   3. go build    — everything compiles
 #   4. 3golvet     — repo-specific determinism/concurrency analyzers
+#      (type-aware, ratcheted against lint/baseline.json; emits
+#      vet-report.json for CI artifact upload)
 #   5. go test -race — full suite under the race detector
 #   6. fleet smoke — 3golfleet city-scale engine run inside a time
 #      budget, with its -json report validated for shape
@@ -39,8 +41,12 @@ go vet ./...
 echo '==> go build ./...'
 go build ./...
 
-echo '==> go run ./cmd/3golvet ./...'
-go run ./cmd/3golvet ./...
+echo '==> go run ./cmd/3golvet -baseline lint/baseline.json -json vet-report.json ./...'
+# Type-aware determinism/concurrency analyzers with the one-way ratchet:
+# fresh findings fail; findings frozen in lint/baseline.json are
+# tolerated (and reported to stderr); fixing frozen debt never fails.
+# The JSON report is left at the repo root for CI to upload.
+go run ./cmd/3golvet -baseline lint/baseline.json -json vet-report.json ./...
 
 echo '==> go test -race ./...'
 # The prototype-path experiments run at gentler time scales under the
