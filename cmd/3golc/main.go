@@ -30,6 +30,8 @@ import (
 	"threegol/internal/core"
 	"threegol/internal/discovery"
 	"threegol/internal/hls"
+	"threegol/internal/permit"
+	"threegol/internal/permitplane"
 	"threegol/internal/scheduler"
 	"threegol/internal/transfer"
 )
@@ -68,6 +70,7 @@ func discoverRoutes(listenAddr string, want int, wait time.Duration) ([]core.Rou
 		proxyURL := &url.URL{Scheme: "http", Host: ann.ProxyAddr}
 		routes = append(routes, core.Route{
 			Name: ann.Name,
+			Cell: ann.Cell,
 			Client: &http.Client{Transport: &http.Transport{
 				Proxy: http.ProxyURL(proxyURL),
 			}},
@@ -157,6 +160,7 @@ func runUpload(args []string) error {
 	wait := fs.Duration("wait", 2*time.Second, "discovery wait timeout")
 	algoName := fs.String("algo", "grd", "multipath scheduler: grd, rr or min")
 	field := fs.String("field", "file", "multipart form field name")
+	permitBackend := fs.String("permit-backend", "", "permit backend base URL; gates each device path on its announced serving cell")
 	fs.Parse(args)
 	if *target == "" {
 		return fmt.Errorf("upload: -target is required")
@@ -188,15 +192,35 @@ func runUpload(args []string) error {
 		return os.Open(item.Name)
 	}
 
+	// The ADSL path is never gated — permits govern cellular onloading
+	// only. Device paths that announced a serving cell get a client-side
+	// permit gate (defence in depth alongside the device's own check):
+	// a denied or lapsed permit fails the transfer with ErrNotPermitted,
+	// and the scheduler requeues the item onto the remaining paths.
 	paths := []scheduler.Path{&transfer.UploadPath{
 		PathName: "adsl", Client: http.DefaultClient, TargetURL: *target,
 		Field: *field, Source: source,
 	}}
+	var permitFetch func(ctx context.Context, device, cell string) (permit.Response, error)
+	if *permitBackend != "" {
+		permitFetch = (&permitplane.BatchClient{BackendURL: *permitBackend}).Fetch
+	}
 	for _, r := range routes {
-		paths = append(paths, &transfer.UploadPath{
+		var p scheduler.Path = &transfer.UploadPath{
 			PathName: r.Name, Client: r.Client, TargetURL: *target,
 			Field: *field, Source: source,
-		})
+		}
+		if permitFetch != nil && r.Cell != "" {
+			cache := &permitplane.Cache{
+				Fetch: permitFetch, Device: r.Name, Cell: r.Cell,
+				Seed: int64(os.Getpid()),
+			}
+			p = permitplane.GatePath(p, cache.Allowed)
+			log.Printf("3golc: gating path %s on permits for cell %s", r.Name, r.Cell)
+		} else if permitFetch != nil {
+			log.Printf("3golc: path %s announced no cell; relying on the device's own permit check", r.Name)
+		}
+		paths = append(paths, p)
 	}
 
 	rep, err := scheduler.Run(context.Background(), algo, items, paths, scheduler.Options{})

@@ -26,7 +26,7 @@ import (
 	"threegol/internal/discovery"
 	"threegol/internal/obs"
 	"threegol/internal/obs/eventlog"
-	"threegol/internal/permit"
+	"threegol/internal/permitplane"
 	"threegol/internal/proxy"
 	"threegol/internal/quota"
 )
@@ -76,10 +76,22 @@ func main() {
 		tracker = quota.NewTracker(*quotaMB << 20)
 		srv.OnBytes = tracker.Use
 	}
-	var permits *permit.Client
+	// Network-integrated mode: the device-side permit cache refreshes
+	// through the batch RPC (degrading to GET /permit against old
+	// backends) at a TTL-jittered point before expiry, so a whole fleet
+	// granted together never stampedes the backend together. The jitter
+	// seed is per-process; the cache also mixes in the device name.
+	var permits *permitplane.Cache
 	if *backend != "" {
-		permits = &permit.Client{BackendURL: *backend, Device: *name, Cell: *cell,
-			Metrics: permit.NewMetrics(reg), Events: events}
+		pm := permitplane.NewMetrics(reg)
+		permits = &permitplane.Cache{
+			Fetch:   (&permitplane.BatchClient{BackendURL: *backend, Metrics: pm}).Fetch,
+			Device:  *name,
+			Cell:    *cell,
+			Seed:    int64(os.Getpid()),
+			Metrics: pm,
+			Events:  events,
+		}
 	}
 	srv.Admit = func(ctx context.Context) bool {
 		defer tracer.Start("admit").End()
@@ -106,7 +118,7 @@ func main() {
 				if !srv.Admit(context.Background()) {
 					return discovery.Announcement{}, false
 				}
-				ann := discovery.Announcement{Name: *name, ProxyAddr: addr}
+				ann := discovery.Announcement{Name: *name, ProxyAddr: addr, Cell: *cell}
 				if tracker != nil {
 					ann.AllowanceBytes = tracker.Available()
 				}

@@ -3,6 +3,13 @@
 // onload, and it grants a time-limited permit only while the device's
 // serving cell sits below the utilisation acceptance threshold.
 //
+// The daemon hosts a cell-sharded permit plane (-shards N): each shard
+// owns a stable-hash slice of the cell ID space with its own decision
+// counters and metrics registry, and the built-in router serves both the
+// classic GET /permit and the batch POST /permits/batch. /debug/metrics
+// is the shard-merged dump (byte-identical regardless of shard count);
+// /debug/shards shows the per-shard split.
+//
 // The production interface to the 3G monitoring system is a utilisation
 // feed; this daemon accepts one on stdin as "cellID utilisation" lines
 // (or runs with a static default), so an operator can pipe their
@@ -10,94 +17,77 @@
 //
 //	monitoring-export | 3golpermitd -listen :7300 -threshold 0.7 -ttl 3m
 //
+// With -deny-unknown the plane fails closed: cells absent from the feed
+// report utilisation 1.0 and are never granted, so a monitoring gap
+// cannot silently become a grant-everything policy.
+//
 // Devices (3gold -backend http://host:7300 -cell <id>) then gate their
-// proxies and beacons on GET /permit?device=<id>&cell=<id>.
+// proxies and beacons on the permit endpoints. On SIGINT/SIGTERM the
+// daemon stops accepting connections and drains in-flight requests for
+// up to -drain before exiting.
 package main
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"strconv"
-	"strings"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"threegol/internal/obs"
 	"threegol/internal/obs/eventlog"
 	"threegol/internal/permit"
+	"threegol/internal/permitplane"
 )
 
 // eventRingSize bounds the backend's in-memory flight recorder; the
 // /debug/events endpoint serves the most recent events.
 const eventRingSize = 4096
 
-// utilTable is a concurrent cellID → utilisation map fed from stdin.
-type utilTable struct {
-	mu       sync.RWMutex
-	util     map[string]float64
-	fallback float64
-}
-
-func (t *utilTable) get(cellID string) float64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if u, ok := t.util[cellID]; ok {
-		return u
-	}
-	return t.fallback
-}
-
-func (t *utilTable) set(cellID string, u float64) {
-	t.mu.Lock()
-	t.util[cellID] = u
-	t.mu.Unlock()
-}
-
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7300", "listen address")
-		threshold = flag.Float64("threshold", permit.DefaultThreshold, "utilisation acceptance threshold")
-		ttl       = flag.Duration("ttl", permit.DefaultTTL, "permit lifetime")
-		fallback  = flag.Float64("default-util", 0, "utilisation assumed for cells with no feed data")
-		feed      = flag.Bool("stdin-feed", false, "read 'cellID utilisation' lines from stdin")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		listen      = flag.String("listen", "127.0.0.1:7300", "listen address")
+		shards      = flag.Int("shards", 1, "permit-plane shards (each owns a stable-hash slice of the cell ID space)")
+		threshold   = flag.Float64("threshold", permit.DefaultThreshold, "utilisation acceptance threshold")
+		ttl         = flag.Duration("ttl", permit.DefaultTTL, "permit lifetime")
+		fallback    = flag.Float64("default-util", 0, "utilisation assumed for cells with no feed data")
+		denyUnknown = flag.Bool("deny-unknown", false, "fail closed: deny cells absent from the feed instead of assuming -default-util")
+		feed        = flag.Bool("stdin-feed", false, "read 'cellID utilisation' lines from stdin")
+		drain       = flag.Duration("drain", 5*time.Second, "in-flight request drain timeout on shutdown")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	table := &utilTable{util: make(map[string]float64), fallback: *fallback}
-	reg := obs.NewRegistry()
-	tracer := obs.NewTracer(reg, nil)
+	table := permitplane.NewUtilTable(*fallback, *denyUnknown)
+	// Process-level registry: span timings live here, outside the
+	// shard registries, so the merged metrics dump stays byte-identical
+	// across shard counts.
+	procReg := obs.NewRegistry()
+	tracer := obs.NewTracer(procReg, nil)
 	// Seed per process so span IDs from multiple daemons never collide
 	// when their logs are stitched together.
 	events := eventlog.NewRing(0, int64(os.Getpid()), eventlog.SinceStart(nil), eventRingSize)
-	backend := &permit.Backend{
-		Utilization: table.get,
+	plane := permitplane.New(permitplane.Config{
+		Shards:      *shards,
 		Threshold:   *threshold,
 		TTL:         *ttl,
-		Metrics:     permit.NewMetrics(reg),
+		Utilization: table.Get,
 		Events:      events,
 		Tracer:      tracer,
-	}
+	})
 
 	if *feed {
 		// Process-lifetime reader: it dies with stdin at daemon exit and
-		// has nothing to join.
+		// has nothing to join. Unlike the old silent loop, malformed
+		// lines and read failures land in the log.
 		go func() { //3golvet:allow goroleak — intentional process-lifetime stdin feed
-			sc := bufio.NewScanner(os.Stdin)
-			for sc.Scan() {
-				fields := strings.Fields(sc.Text())
-				if len(fields) != 2 {
-					continue
-				}
-				u, err := strconv.ParseFloat(fields[1], 64)
-				if err != nil || u < 0 {
-					continue
-				}
-				table.set(fields[0], u)
+			if err := permitplane.ReadFeed(os.Stdin, table, log.Printf); err != nil {
+				log.Printf("3golpermitd: %v (feed updates stopped; serving last-known utilisation)", err)
 			}
 		}()
 	}
@@ -105,14 +95,22 @@ func main() {
 	// Periodic stats line so operators can watch grant/deny rates.
 	go func() {
 		for range time.Tick(30 * time.Second) {
-			g, d := backend.Stats()
+			g, d := plane.Stats()
 			log.Printf("3golpermitd: %d grants, %d denials", g, d)
 		}
 	}()
 
 	mux := http.NewServeMux()
-	mux.Handle("/permit", backend)
-	mux.Handle("/debug/metrics", obs.Handler(reg))
+	mux.Handle("/permit", plane)
+	mux.Handle("/permits/batch", plane)
+	mux.Handle("/debug/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The shard-merged dump plus the process-level span timings.
+		dst := plane.MergedRegistry()
+		obs.NewTracer(dst, nil)
+		dst.Merge(procReg)
+		obs.Handler(dst).ServeHTTP(w, r)
+	}))
+	mux.Handle("/debug/shards", plane.StatusHandler())
 	mux.Handle("/debug/spans", obs.SpansHandler(tracer))
 	mux.Handle("/debug/events", eventlog.Handler(events))
 	if *pprofOn {
@@ -122,7 +120,32 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	log.Printf("3golpermitd: serving /permit and /debug/metrics on %s (threshold %.2f, ttl %v)",
-		*listen, *threshold, *ttl)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("3golpermitd: serving /permit, /permits/batch and /debug/metrics on %s (%d shards, threshold %.2f, ttl %v)",
+		*listen, plane.Shards(), *threshold, *ttl)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("3golpermitd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("3golpermitd: shutting down, draining in-flight requests (up to %v)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("3golpermitd: drain incomplete, closing: %v", err)
+		_ = srv.Close()
+	}
+	g, d := plane.Stats()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("3golpermitd: server: %v", err)
+	}
+	log.Printf("3golpermitd: stopped (%d grants, %d denials served)", g, d)
 }

@@ -19,10 +19,13 @@ import (
 
 // Route is one transport available to the client component: a name for
 // scheduler reports plus an HTTP client bound to that path (a shaped
-// dialer for the ADSL line, a proxied transport for a phone).
+// dialer for the ADSL line, a proxied transport for a phone). Cell, when
+// known, is the serving cell the path's device reported — the key a
+// client-side permit gate checks with the backend.
 type Route struct {
 	Name   string
 	Client *http.Client
+	Cell   string
 }
 
 // VoDOptions configure a boosted video-on-demand session.

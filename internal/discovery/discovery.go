@@ -29,6 +29,10 @@ type Announcement struct {
 	// AllowanceBytes is the remaining 3GOL quota A(t) the device is
 	// willing to carry today (0 = unlimited / network-integrated).
 	AllowanceBytes int64 `json:"allowance_bytes"`
+	// Cell is the device's serving cell ID (network-integrated mode;
+	// empty otherwise). Clients forward it so their own permit checks
+	// can gate each path on the cell it would actually load.
+	Cell string `json:"cell,omitempty"`
 }
 
 // DefaultInterval is the default beacon refresh period.

@@ -11,11 +11,12 @@ import (
 // flight recorder rides the context, so a ctx-less I/O helper silently
 // breaks tracing for everything above it.
 var CtxPackages = map[string]bool{
-	"scheduler": true,
-	"transfer":  true,
-	"proxy":     true,
-	"upload":    true,
-	"permit":    true,
+	"scheduler":   true,
+	"transfer":    true,
+	"proxy":       true,
+	"upload":      true,
+	"permit":      true,
+	"permitplane": true,
 }
 
 // CtxProp flags exported functions in the data-plane packages that

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"threegol/internal/clock"
@@ -51,10 +52,17 @@ type Backend struct {
 	Tracer *obs.Tracer
 	// Clock times decisions for Metrics; nil selects the system clock.
 	Clock clock.Clock
+	// OnGrant, when non-nil, fires after each granted decision with the
+	// cell ID — the hook the permit plane's admission loop uses to feed
+	// granted load back into the cell-utilisation model. It is called
+	// from handler goroutines and must be safe for concurrent use.
+	OnGrant func(cellID string)
+	// Tags are extra attribute pairs appended to every decision's
+	// flight-recorder point (e.g. "shard", "3" in the sharded plane).
+	Tags []string
 
-	mu      sync.Mutex
-	grants  int
-	denials int
+	grants  atomic.Int64
+	denials atomic.Int64
 }
 
 // Response is the backend's JSON reply.
@@ -94,6 +102,22 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing cell parameter", http.StatusBadRequest)
 		return
 	}
+	ctx := r.Context()
+	if tc, ok := eventlog.ExtractHTTP(r.Header); ok {
+		ctx = eventlog.NewContext(ctx, tc)
+	}
+	resp := b.Decide(ctx, cell)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp) // client disconnect; nothing to do
+}
+
+// Decide makes one admission decision for a cell: granted while the
+// monitoring hook reports utilisation below the threshold, denied
+// otherwise. It is the transport-independent core of ServeHTTP — the
+// sharded permit plane's batch RPC calls it directly, once per request
+// in the batch. The flight-recorder point joins the TraceContext riding
+// ctx (HTTP callers extract the X-3gol-Trace header into it first).
+func (b *Backend) Decide(ctx context.Context, cell string) Response {
 	clk := clock.Or(b.Clock)
 	t0 := clk.Now()
 	defer b.Tracer.Start("permit.decision").End()
@@ -104,31 +128,31 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		resp.TTLSeconds = b.ttl().Seconds()
 	}
 	b.count(resp.Granted)
+	if resp.Granted && b.OnGrant != nil {
+		b.OnGrant(cell)
+	}
 	b.Metrics.decided(resp.Granted, clk.Since(t0).Seconds())
-	tc, _ := eventlog.ExtractHTTP(r.Header)
-	b.Events.Point(tc, "permit.decision",
-		"cell", cell, "granted", fmt.Sprintf("%t", resp.Granted),
-		"utilization", eventlog.Float(util))
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp) // client disconnect; nothing to do
+	tc, _ := eventlog.FromContext(ctx)
+	attrs := []string{"cell", cell, "granted", fmt.Sprintf("%t", resp.Granted),
+		"utilization", eventlog.Float(util)}
+	attrs = append(attrs, b.Tags...)
+	b.Events.Point(tc, "permit.decision", attrs...)
+	return resp
 }
 
-// count tallies one decision.
+// count tallies one decision. Atomic, not mutex-guarded: the decision
+// path is the backend's hot loop and needs no lock at all.
 func (b *Backend) count(granted bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if granted {
-		b.grants++
+		b.grants.Add(1)
 	} else {
-		b.denials++
+		b.denials.Add(1)
 	}
 }
 
 // Stats reports how many requests were granted and denied.
-func (b *Backend) Stats() (grants, denials int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.grants, b.denials
+func (b *Backend) Stats() (grants, denials int64) {
+	return b.grants.Load(), b.denials.Load()
 }
 
 // Client is the device-side permit cache. Allowed consults the cache and

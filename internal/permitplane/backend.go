@@ -1,0 +1,293 @@
+package permitplane
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"threegol/internal/clock"
+	"threegol/internal/obs"
+	"threegol/internal/obs/eventlog"
+	"threegol/internal/permit"
+)
+
+// MaxBatch bounds the number of permit requests one batch RPC may
+// carry; larger batches are rejected with 413 so a single request can
+// never pin a router goroutine on an unbounded decode.
+const MaxBatch = 16384
+
+// PermitRequest is one device's grant/refresh request inside a batch.
+type PermitRequest struct {
+	Device string `json:"device"`
+	Cell   string `json:"cell"`
+}
+
+// BatchRequest is the body of POST /permits/batch.
+type BatchRequest struct {
+	Requests []PermitRequest `json:"requests"`
+}
+
+// BatchResponse is the reply: one decision per request, same order.
+type BatchResponse struct {
+	Decisions []permit.Response `json:"decisions"`
+}
+
+// Config assembles a sharded permit plane.
+type Config struct {
+	// Shards is the number of independent shards; <= 0 selects 1.
+	Shards int
+	// Threshold and TTL configure every shard's permit.Backend.
+	Threshold float64
+	TTL       time.Duration
+	// Utilization is the shared monitoring hook (UtilTable.Get,
+	// CellLoop.Utilization, or an operator's own). Required; must be
+	// safe for concurrent use.
+	Utilization func(cellID string) float64
+	// OnGrant, when non-nil, fires after every granted decision — the
+	// admission loop's feedback hook (CellLoop.OnGrant). Must be safe
+	// for concurrent use.
+	OnGrant func(cellID string)
+	// Clock times decisions; nil selects the system clock.
+	Clock clock.Clock
+	// Events, when non-nil, is the shared flight recorder: every
+	// decision point carries a "shard" attribute, and the router adds a
+	// permitplane.batch point per batch RPC, so 3goltrace can follow
+	// any decision to the shard that made it.
+	Events *eventlog.Log
+	// Tracer, when non-nil, times every shard's decisions into one
+	// shared span ring. Register it on a process-level registry, not a
+	// shard registry — span durations are wall-clock and would break
+	// the byte-identical merge guarantee if they lived shard-side.
+	Tracer *obs.Tracer
+}
+
+// shard is one slice of the cell ID space: its own permit.Backend with
+// lock-free counters, its own obs registry.
+type shard struct {
+	index   int
+	reg     *obs.Registry
+	backend *permit.Backend
+}
+
+// Sharded is the cell-sharded permit plane: N shards behind a router.
+// It is an http.Handler serving GET /permit (routed by cell) and POST
+// /permits/batch (split by shard, fanned out, reassembled in order).
+type Sharded struct {
+	cfg     Config
+	shards  []*shard
+	router  *obs.Registry
+	metrics *Metrics
+	events  *eventlog.Log
+	clk     clock.Clock
+}
+
+// New builds a sharded plane from cfg.
+func New(cfg Config) *Sharded {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	s := &Sharded{
+		cfg:    cfg,
+		router: obs.NewRegistry(),
+		events: cfg.Events,
+		clk:    clock.Or(cfg.Clock),
+	}
+	s.metrics = NewMetrics(s.router)
+	for i := 0; i < cfg.Shards; i++ {
+		reg := obs.NewRegistry()
+		s.shards = append(s.shards, &shard{
+			index: i,
+			reg:   reg,
+			backend: &permit.Backend{
+				Utilization: cfg.Utilization,
+				Threshold:   cfg.Threshold,
+				TTL:         cfg.TTL,
+				Metrics:     permit.NewMetrics(reg),
+				Events:      cfg.Events,
+				Tracer:      cfg.Tracer,
+				Clock:       cfg.Clock,
+				OnGrant:     cfg.OnGrant,
+				Tags:        []string{"shard", strconv.Itoa(i)},
+			},
+		})
+	}
+	return s
+}
+
+// Shards reports the configured shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// shardFor routes a cell to its owning shard.
+func (s *Sharded) shardFor(cellID string) *shard {
+	return s.shards[ShardOf(cellID, len(s.shards))]
+}
+
+// ServeHTTP implements http.Handler: GET /permit and POST
+// /permits/batch.
+func (s *Sharded) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/permit":
+		s.metrics.routed()
+		// The shard's own Backend validates parameters and writes the
+		// reply; an empty cell routes to shard 0, which rejects it.
+		s.shardFor(r.URL.Query().Get("cell")).backend.ServeHTTP(w, r)
+	case "/permits/batch":
+		s.serveBatch(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveBatch decodes a batch, fans the requests out to their owning
+// shards in parallel, and writes the decisions back in request order.
+func (s *Sharded) serveBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		s.metrics.batchServed(false, 0)
+		http.Error(w, fmt.Sprintf("malformed batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.metrics.batchServed(false, 0)
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) > MaxBatch {
+		s.metrics.batchServed(false, 0)
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), MaxBatch),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	for i, pr := range req.Requests {
+		if pr.Cell == "" {
+			s.metrics.batchServed(false, 0)
+			http.Error(w, fmt.Sprintf("request %d: missing cell", i), http.StatusBadRequest)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	tc, traced := eventlog.ExtractHTTP(r.Header)
+	if traced {
+		ctx = eventlog.NewContext(ctx, tc)
+	}
+
+	// Group request indices by owning shard, then decide each shard's
+	// slice on its own goroutine. Indices are disjoint, so the shared
+	// decisions slice needs no lock.
+	byShard := make([][]int, len(s.shards))
+	for i, pr := range req.Requests {
+		idx := ShardOf(pr.Cell, len(s.shards))
+		byShard[idx] = append(byShard[idx], i)
+	}
+	decisions := make([]permit.Response, len(req.Requests))
+	var wg sync.WaitGroup
+	for si, indices := range byShard {
+		if len(indices) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard, indices []int) {
+			defer wg.Done()
+			for _, i := range indices {
+				decisions[i] = sh.backend.Decide(ctx, req.Requests[i].Cell)
+			}
+		}(s.shards[si], indices)
+	}
+	wg.Wait()
+
+	s.metrics.batchServed(true, len(req.Requests))
+	s.events.Point(tc, "permitplane.batch",
+		"size", strconv.Itoa(len(req.Requests)),
+		"shards", strconv.Itoa(len(s.shards)))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(BatchResponse{Decisions: decisions}) // client disconnect; nothing to do
+}
+
+// Stats sums grant/denial counts across shards.
+func (s *Sharded) Stats() (grants, denials int64) {
+	for _, sh := range s.shards {
+		g, d := sh.backend.Stats()
+		grants += g
+		denials += d
+	}
+	return grants, denials
+}
+
+// ShardStatus is one shard's /debug/shards entry.
+type ShardStatus struct {
+	Shard   int   `json:"shard"`
+	Grants  int64 `json:"grants"`
+	Denials int64 `json:"denials"`
+}
+
+// Status reports per-shard decision counts in shard order.
+func (s *Sharded) Status() []ShardStatus {
+	out := make([]ShardStatus, len(s.shards))
+	for i, sh := range s.shards {
+		g, d := sh.backend.Stats()
+		out[i] = ShardStatus{Shard: i, Grants: g, Denials: d}
+	}
+	return out
+}
+
+// StatusHandler serves Status as the /debug/shards JSON endpoint.
+func (s *Sharded) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Status()) // client disconnect; nothing to do
+	})
+}
+
+// MergeInto folds the router's and every shard's instruments into dst,
+// in shard order. dst must have the permit and permitplane families
+// registered (permit.NewMetrics + NewMetrics).
+func (s *Sharded) MergeInto(dst *obs.Registry) {
+	dst.Merge(s.router)
+	for _, sh := range s.shards {
+		dst.Merge(sh.reg)
+	}
+}
+
+// MergedRegistry builds a fresh registry holding the plane's merged
+// state. Because shard assignment is a pure function of the cell ID and
+// merging runs in shard order over sorted metric names, the snapshot is
+// byte-identical for the same request history regardless of how many
+// shards served it — the same guarantee the fleet engine gives across
+// worker counts.
+func (s *Sharded) MergedRegistry() *obs.Registry {
+	dst := obs.NewRegistry()
+	permit.NewMetrics(dst)
+	NewMetrics(dst)
+	s.MergeInto(dst)
+	return dst
+}
+
+// MetricsHandler serves the merged registry as /debug/metrics,
+// re-merging on every request so the dump is always current.
+func (s *Sharded) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obs.Handler(s.MergedRegistry()).ServeHTTP(w, r)
+	})
+}
+
+// Decide routes one in-process decision to its owning shard — the
+// entry point for embedded planes (tests, the load harness's in-process
+// backend, the fleet engine).
+func (s *Sharded) Decide(ctx context.Context, cell string) permit.Response {
+	return s.shardFor(cell).backend.Decide(ctx, cell)
+}

@@ -1,0 +1,151 @@
+package permitplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"threegol/internal/obs/eventlog"
+	"threegol/internal/permit"
+)
+
+// BatchClient issues grant/refresh requests against a permit backend,
+// preferring the batch RPC and degrading transparently to per-permit
+// GETs when the backend predates /permits/batch (the fallback sticks
+// for the client's lifetime once detected, so every later batch costs
+// exactly len(reqs) GETs instead of one failed POST plus the GETs).
+type BatchClient struct {
+	// BackendURL is the backend's base URL (scheme://host:port).
+	BackendURL string
+	// HTTPClient issues the requests; nil uses a short-timeout default.
+	HTTPClient *http.Client
+	// RequestTimeout bounds each RPC via a per-attempt context
+	// deadline; 0 selects 5 seconds (batches carry more work than the
+	// 2 s single-permit default).
+	RequestTimeout time.Duration
+	// Metrics, when non-nil, receives fallback instrumentation.
+	Metrics *Metrics
+
+	legacy atomic.Bool // backend has no /permits/batch
+}
+
+func (c *BatchClient) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (c *BatchClient) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 5 * time.Second
+}
+
+// Batch requests a decision for every entry of reqs, returning the
+// decisions in request order. A transport failure or non-OK status
+// fails the whole batch — callers treat that like any single-permit
+// refresh error (fail safe: no permit, no onloading).
+func (c *BatchClient) Batch(ctx context.Context, reqs []PermitRequest) ([]permit.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if c.legacy.Load() {
+		return c.singles(ctx, reqs)
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
+	defer cancel()
+	body, err := json.Marshal(BatchRequest{Requests: reqs})
+	if err != nil {
+		return nil, fmt.Errorf("permitplane: encoding batch: %w", err)
+	}
+	url := c.BackendURL + "/permits/batch"
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("permitplane: building batch request for %s: %w", url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tc, ok := eventlog.FromContext(ctx); ok {
+		eventlog.InjectHTTP(req.Header, tc)
+	}
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("permitplane: batch request to %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	switch {
+	case httpResp.StatusCode == http.StatusOK:
+	case httpResp.StatusCode == http.StatusNotFound || httpResp.StatusCode == http.StatusMethodNotAllowed:
+		// Pre-batch backend: remember and degrade to per-permit GETs.
+		c.legacy.Store(true)
+		c.Metrics.batchFellBack()
+		return c.singles(ctx, reqs)
+	default:
+		return nil, fmt.Errorf("permitplane: batch backend returned %s", httpResp.Status)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("permitplane: decoding batch response: %w", err)
+	}
+	if len(out.Decisions) != len(reqs) {
+		return nil, fmt.Errorf("permitplane: batch returned %d decisions for %d requests",
+			len(out.Decisions), len(reqs))
+	}
+	return out.Decisions, nil
+}
+
+// Fetch requests a single decision — the Cache.Fetch hook. It rides
+// the batch path (a batch of one) so trace propagation, timeouts and
+// legacy fallback behave identically for cached and batched callers.
+func (c *BatchClient) Fetch(ctx context.Context, device, cell string) (permit.Response, error) {
+	out, err := c.Batch(ctx, []PermitRequest{{Device: device, Cell: cell}})
+	if err != nil {
+		return permit.Response{}, err
+	}
+	return out[0], nil
+}
+
+// singles performs one GET /permit round trip per request — the legacy
+// protocol (and the shape of the load the batch RPC exists to avoid).
+func (c *BatchClient) singles(ctx context.Context, reqs []PermitRequest) ([]permit.Response, error) {
+	out := make([]permit.Response, len(reqs))
+	for i, pr := range reqs {
+		resp, err := c.single(ctx, pr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+func (c *BatchClient) single(ctx context.Context, pr PermitRequest) (permit.Response, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
+	defer cancel()
+	url := fmt.Sprintf("%s/permit?device=%s&cell=%s", c.BackendURL, pr.Device, pr.Cell)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err != nil {
+		return permit.Response{}, fmt.Errorf("permitplane: building request for %s: %w", url, err)
+	}
+	if tc, ok := eventlog.FromContext(ctx); ok {
+		eventlog.InjectHTTP(req.Header, tc)
+	}
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return permit.Response{}, fmt.Errorf("permitplane: requesting %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return permit.Response{}, fmt.Errorf("permitplane: backend returned %s", httpResp.Status)
+	}
+	var resp permit.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return permit.Response{}, fmt.Errorf("permitplane: decoding response: %w", err)
+	}
+	return resp, nil
+}

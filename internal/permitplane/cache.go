@@ -1,0 +1,191 @@
+package permitplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"threegol/internal/clock"
+	"threegol/internal/obs/eventlog"
+	"threegol/internal/permit"
+)
+
+// Refresh-window defaults: a granted permit is proactively refreshed at
+// a deterministic, per-device-jittered point in [lo, hi]×TTL, so a
+// fleet of devices granted together never returns together.
+const (
+	DefaultRefreshLo = 0.7
+	DefaultRefreshHi = 0.95
+)
+
+// Cooldowns after non-granted refreshes, mirroring permit.Client: a
+// denial is re-checked after a few seconds ("the transmission is
+// denied, and the device does not advertise"), a backend failure backs
+// off briefly so a dead backend does not turn every request into a
+// round trip.
+const (
+	denyCooldown  = 5 * time.Second
+	errorCooldown = 2 * time.Second
+)
+
+// Cache is the device-side permit cache of the production plane. It
+// improves on permit.Client in three ways that matter at fleet scale:
+//
+//   - Proactive, TTL-jittered refresh: instead of refreshing at expiry
+//     (where every device granted in the same backend restart returns
+//     in the same instant), the cache refreshes at a deterministic
+//     per-device point inside [RefreshLo, RefreshHi]×TTL. The jitter
+//     stream is seeded and replayable (JitterFrac), so tests can prove
+//     the desynchronisation bound.
+//   - Singleflight: concurrent callers coalesce onto one in-flight
+//     refresh instead of issuing one round trip each.
+//   - Stale-while-refresh: while a proactive refresh is in flight, the
+//     still-valid cached verdict keeps serving, so the refresh never
+//     stalls the request path; and a failed proactive refresh keeps
+//     the permit until its granted TTL genuinely lapses.
+type Cache struct {
+	// Fetch performs one backend refresh (BatchClient.Fetch, or a test
+	// double). Required.
+	Fetch func(ctx context.Context, device, cell string) (permit.Response, error)
+	// Device and Cell identify this device and its serving cell.
+	Device, Cell string
+	// Seed salts the jitter stream; the draw also mixes in Device, so
+	// a fleet sharing one configured seed still desynchronises.
+	Seed int64
+	// RefreshLo and RefreshHi bound the proactive-refresh window as
+	// fractions of the granted TTL; zero values select the defaults.
+	// Setting both to 1 disables proactive refresh (refresh exactly at
+	// expiry — the TTL-boundary tests pin that edge).
+	RefreshLo, RefreshHi float64
+	// Clock times TTLs; nil selects the system clock.
+	Clock clock.Clock
+	// Metrics, when non-nil, receives cache instrumentation.
+	Metrics *Metrics
+	// Events, when non-nil, records a point per refresh, joining the
+	// TraceContext riding the caller's context.
+	Events *eventlog.Log
+
+	mu        sync.Mutex
+	haveState bool
+	granted   bool
+	expires   time.Time
+	refreshAt time.Time
+	flight    chan struct{} // non-nil while a refresh is in flight
+	draws     uint64        // jitter draws so far (the stream position)
+}
+
+func (c *Cache) window() (lo, hi float64) {
+	lo, hi = c.RefreshLo, c.RefreshHi
+	if lo <= 0 {
+		lo = DefaultRefreshLo
+	}
+	if hi <= 0 {
+		hi = DefaultRefreshHi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Allowed reports whether the device currently holds a valid permit,
+// refreshing from the backend as needed. It is safe for concurrent use
+// and matches the proxy.Server Admit hook shape. The context rides into
+// the refresh, so traces and cancellation propagate to the backend.
+func (c *Cache) Allowed(ctx context.Context) bool {
+	for {
+		c.mu.Lock() //3golvet:allow locksafe — singleflight state machine: every branch unlocks before blocking or returning
+		now := clock.Or(c.Clock).Now()
+		fresh := c.haveState && now.Before(c.expires)
+		due := !c.haveState || !now.Before(c.refreshAt)
+		if fresh && !due {
+			v := c.granted
+			c.mu.Unlock()
+			c.Metrics.cacheHit()
+			return v
+		}
+		if c.flight != nil {
+			// Someone else is refreshing. A still-valid permit keeps
+			// serving (stale-while-refresh); an expired one waits for
+			// the flight's result rather than duplicating it.
+			if fresh {
+				v := c.granted
+				c.mu.Unlock()
+				c.Metrics.cacheCoalesced()
+				return v
+			}
+			flight := c.flight
+			c.mu.Unlock()
+			c.Metrics.cacheCoalesced()
+			select {
+			case <-flight:
+				continue // re-read the refreshed state
+			case <-ctx.Done():
+				return false // fail safe: no permit, no onloading
+			}
+		}
+		flight := make(chan struct{})
+		c.flight = flight
+		c.mu.Unlock()
+		return c.refresh(ctx, flight, fresh)
+	}
+}
+
+// refresh performs the backend round trip this caller won the right to
+// make, installs the result, and releases any coalesced waiters.
+// proactive records that the cached permit was still valid when the
+// refresh was issued.
+func (c *Cache) refresh(ctx context.Context, flight chan struct{}, proactive bool) bool {
+	resp, err := c.Fetch(ctx, c.Device, c.Cell)
+	now := clock.Or(c.Clock).Now()
+	granted := err == nil && resp.Granted
+	c.Metrics.cacheRefreshed(granted, err, proactive)
+	tc, _ := eventlog.FromContext(ctx)
+	c.Events.Point(tc, "permitplane.cache_refresh",
+		"cell", c.Cell, "granted", fmt.Sprintf("%t", granted),
+		"ok", fmt.Sprintf("%t", err == nil),
+		"proactive", fmt.Sprintf("%t", proactive))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer close(flight)
+	c.flight = nil
+	switch {
+	case err != nil && c.haveState && now.Before(c.expires):
+		// A failed proactive refresh must not revoke a permit the
+		// backend granted for a TTL that has not lapsed; retry shortly
+		// and keep serving the cached verdict until real expiry.
+		c.refreshAt = now.Add(errorCooldown)
+		return c.granted
+	case err != nil:
+		c.haveState = true
+		c.granted = false
+		c.expires = now.Add(errorCooldown)
+		c.refreshAt = c.expires
+		return false
+	}
+	c.haveState = true
+	c.granted = resp.Granted
+	ttl := time.Duration(resp.TTLSeconds * float64(time.Second))
+	if !resp.Granted || ttl <= 0 {
+		c.expires = now.Add(denyCooldown)
+		c.refreshAt = c.expires
+		return c.granted
+	}
+	c.expires = now.Add(ttl)
+	lo, hi := c.window()
+	frac := lo + (hi-lo)*JitterFrac(c.Seed, c.Device, c.draws)
+	c.draws++
+	c.refreshAt = now.Add(time.Duration(frac * float64(ttl)))
+	return c.granted
+}
+
+// Invalidate drops the cached permit, forcing a refresh on next use.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.haveState = false
+	c.expires = time.Time{}
+	c.refreshAt = time.Time{}
+}

@@ -1,0 +1,213 @@
+package permitplane
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"threegol/internal/cellular"
+	"threegol/internal/diurnal"
+	"threegol/internal/linksim"
+	"threegol/internal/obs"
+	"threegol/internal/permit"
+	"threegol/internal/scheduler"
+	"threegol/internal/simclock"
+)
+
+// quietLoop builds a CellLoop over a one-sector network with zero
+// background load, so congestion comes only from admitted grants.
+func quietLoop(clk *fakeClock) (*CellLoop, string) {
+	sim := linksim.New(simclock.New())
+	net := cellular.NewNetwork(sim, rand.New(rand.NewSource(1)), cellular.DefaultParams())
+	bs := net.AddBaseStation(cellular.BaseStationConfig{
+		Name:    "bs0",
+		Sectors: 1,
+		Load:    diurnal.New([24]float64{}),
+	})
+	l := NewCellLoop(net)
+	l.Clock = clk
+	return l, bs.Sectors()[0].Name()
+}
+
+// TestCellLoopGrantRatioFallsAsLoadRises is the closed-loop acceptance
+// test: with utilisation fed by the live cell model and granted load
+// fed back into it, early requests are granted and the grant ratio
+// falls to zero as admitted load fills the cell — then recovers once
+// the grants' TTLs lapse and their load is returned.
+func TestCellLoopGrantRatioFallsAsLoadRises(t *testing.T) {
+	clk := &fakeClock{}
+	loop, cell := quietLoop(clk)
+	loop.TTL = time.Minute
+	b := &permit.Backend{
+		Utilization: loop.Utilization,
+		OnGrant:     loop.OnGrant,
+		Threshold:   0.7,
+		Clock:       clk,
+	}
+
+	// Nominal DL is 7.2 Mbps and each grant admits 500 kbps DL, so the
+	// DL load factor climbs ~0.069 per grant: requests are granted
+	// until ~10 permits are live, then denied.
+	const requests = 40
+	var granted []bool
+	for i := 0; i < requests; i++ {
+		granted = append(granted, b.Decide(context.Background(), cell).Granted)
+	}
+	firstDenial := -1
+	for i, g := range granted {
+		if !g {
+			firstDenial = i
+			break
+		}
+	}
+	if firstDenial < 5 || firstDenial > 15 {
+		t.Fatalf("first denial at request %d, want ~11 (capacity 7.2 Mbps / 500 kbps per grant at threshold 0.7)", firstDenial)
+	}
+	for i := firstDenial; i < requests; i++ {
+		if granted[i] {
+			t.Errorf("request %d granted after the cell filled", i)
+		}
+	}
+	early := ratio(granted[:firstDenial])
+	late := ratio(granted[firstDenial:])
+	if early != 1 || late != 0 {
+		t.Errorf("grant ratio early=%v late=%v; admission loop not closing", early, late)
+	}
+	if got := loop.ActiveGrants(cell); got != firstDenial {
+		t.Errorf("%d active grants, want %d", got, firstDenial)
+	}
+
+	// TTL expiry returns the load: the ratio recovers.
+	clk.advance(loop.TTL + time.Second)
+	if got := loop.ActiveGrants(cell); got != 0 {
+		t.Errorf("%d active grants after TTL, want 0", got)
+	}
+	if !b.Decide(context.Background(), cell).Granted {
+		t.Error("grant not restored after admitted load expired")
+	}
+}
+
+func ratio(granted []bool) float64 {
+	if len(granted) == 0 {
+		return 0
+	}
+	n := 0
+	for _, g := range granted {
+		if g {
+			n++
+		}
+	}
+	return float64(n) / float64(len(granted))
+}
+
+func TestCellLoopUnknownCellFailsClosed(t *testing.T) {
+	clk := &fakeClock{}
+	loop, _ := quietLoop(clk)
+	if got := loop.Utilization("no-such-cell"); got != 1.0 {
+		t.Errorf("unknown cell utilisation %v, want 1.0 (fail closed)", got)
+	}
+	loop.OnGrant("no-such-cell") // must not panic or count
+	if got := loop.ActiveGrants("no-such-cell"); got != 0 {
+		t.Errorf("unknown cell carries %d grants", got)
+	}
+}
+
+func TestCellLoopMetricsTrackAdmittedLoad(t *testing.T) {
+	clk := &fakeClock{}
+	loop, cell := quietLoop(clk)
+	loop.Metrics = NewMetrics(obs.NewRegistry())
+	loop.PerGrantDL = 400 * linksim.Kbps
+	loop.PerGrantUL = 100 * linksim.Kbps
+	loop.TTL = time.Minute
+
+	loop.OnGrant(cell)
+	loop.OnGrant(cell)
+	if got := loop.Metrics.ActiveGrants.With().Value(); got != 2 {
+		t.Errorf("active grants gauge %v, want 2", got)
+	}
+	if got := loop.Metrics.AdmittedLoad.With(directionDL).Value(); got != 800e3 {
+		t.Errorf("admitted DL gauge %v, want 800e3", got)
+	}
+	clk.advance(time.Minute + time.Second)
+	if got := loop.ActiveGrants(cell); got != 0 {
+		t.Fatalf("%d active grants after TTL, want 0", got)
+	}
+	if got := loop.Metrics.ActiveGrants.With().Value(); got != 0 {
+		t.Errorf("active grants gauge %v after expiry, want 0", got)
+	}
+	if got := loop.Metrics.AdmittedLoad.With(directionDL).Value(); got != 0 {
+		t.Errorf("admitted DL gauge %v after expiry, want 0", got)
+	}
+}
+
+type stubPath struct {
+	name  string
+	n     int64
+	calls int
+}
+
+func (p *stubPath) Name() string { return p.name }
+
+func (p *stubPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+	p.calls++
+	return p.n, nil
+}
+
+type stubProgressPath struct {
+	stubPath
+	progressCalls int
+}
+
+func (p *stubProgressPath) TransferProgress(ctx context.Context, item scheduler.Item, progress func(total int64)) (int64, error) {
+	p.calls++
+	p.progressCalls++
+	progress(p.n)
+	return p.n, nil
+}
+
+func TestGatePathBlocksWithoutPermit(t *testing.T) {
+	allowed := true
+	inner := &stubPath{name: "3g", n: 1000}
+	p := GatePath(inner, func(context.Context) bool { return allowed })
+	if p.Name() != "3g" {
+		t.Errorf("gate renamed the path to %q", p.Name())
+	}
+	if n, err := p.Transfer(context.Background(), scheduler.Item{}); err != nil || n != 1000 {
+		t.Errorf("permitted transfer: n=%d err=%v", n, err)
+	}
+	allowed = false
+	if _, err := p.Transfer(context.Background(), scheduler.Item{}); err != ErrNotPermitted {
+		t.Errorf("unpermitted transfer error = %v, want ErrNotPermitted", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner path called %d times, want 1 (gate must short-circuit)", inner.calls)
+	}
+}
+
+func TestGatePathPreservesProgress(t *testing.T) {
+	inner := &stubProgressPath{stubPath: stubPath{name: "3g", n: 500}}
+	allowed := true
+	gated := GatePath(inner, func(context.Context) bool { return allowed })
+	pp, ok := gated.(scheduler.ProgressPath)
+	if !ok {
+		t.Fatal("gating a ProgressPath lost the progress interface")
+	}
+	var reported int64
+	n, err := pp.TransferProgress(context.Background(), scheduler.Item{}, func(total int64) { reported = total })
+	if err != nil || n != 500 || reported != 500 {
+		t.Errorf("gated progress transfer: n=%d reported=%d err=%v", n, reported, err)
+	}
+	allowed = false
+	if _, err := pp.TransferProgress(context.Background(), scheduler.Item{}, func(int64) {}); err != ErrNotPermitted {
+		t.Errorf("unpermitted progress transfer error = %v, want ErrNotPermitted", err)
+	}
+	if inner.progressCalls != 1 {
+		t.Errorf("inner progress path called %d times, want 1", inner.progressCalls)
+	}
+
+	// A plain Path must not grow a progress method through the gate.
+	if _, ok := GatePath(&stubPath{}, func(context.Context) bool { return true }).(scheduler.ProgressPath); ok {
+		t.Error("gating a plain Path invented a progress interface")
+	}
+}

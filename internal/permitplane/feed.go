@@ -1,0 +1,91 @@
+package permitplane
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// UtilTable is a concurrent cellID → utilisation map, fed from an
+// operator's monitoring export ("cellID utilisation" lines). It is the
+// default Utilization source of cmd/3golpermitd.
+type UtilTable struct {
+	mu          sync.RWMutex
+	util        map[string]float64
+	fallback    float64
+	denyUnknown bool
+}
+
+// NewUtilTable returns an empty table. fallback is the utilisation
+// assumed for cells absent from the feed; denyUnknown overrides it to
+// fail closed — unknown cells report utilisation 1.0, above every
+// acceptance threshold, so a silent feed gap can never turn into an
+// open-ended grant-everything policy.
+func NewUtilTable(fallback float64, denyUnknown bool) *UtilTable {
+	return &UtilTable{util: make(map[string]float64), fallback: fallback, denyUnknown: denyUnknown}
+}
+
+// Get reports the cell's utilisation — the Backend.Utilization hook.
+func (t *UtilTable) Get(cellID string) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if u, ok := t.util[cellID]; ok {
+		return u
+	}
+	if t.denyUnknown {
+		return 1.0
+	}
+	return t.fallback
+}
+
+// Set records one cell's utilisation.
+func (t *UtilTable) Set(cellID string, u float64) {
+	t.mu.Lock()
+	t.util[cellID] = u
+	t.mu.Unlock()
+}
+
+// Len reports how many cells have feed data.
+func (t *UtilTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.util)
+}
+
+// ReadFeed consumes "cellID utilisation" lines from r into t until EOF
+// or a read error. Malformed lines are counted and reported through
+// logf (nil discards); a read failure is returned — unlike the old
+// silent stdin loop, the caller can tell a finished feed from a broken
+// one, so updates never just stop without a trace in the log.
+func ReadFeed(r io.Reader, t *UtilTable, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sc := bufio.NewScanner(r)
+	malformed := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		u, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if len(fields) != 2 || err != nil || u < 0 {
+			malformed++
+			if malformed <= 10 {
+				logf("permitplane: malformed feed line %q", sc.Text())
+			}
+			continue
+		}
+		t.Set(fields[0], u)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("permitplane: utilisation feed read failed: %w", err)
+	}
+	if malformed > 0 {
+		logf("permitplane: feed ended (%d malformed lines skipped)", malformed)
+	}
+	return nil
+}

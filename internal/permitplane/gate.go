@@ -1,0 +1,56 @@
+package permitplane
+
+import (
+	"context"
+	"errors"
+
+	"threegol/internal/scheduler"
+)
+
+// ErrNotPermitted is returned by a gated path when its permit check
+// fails: the device's serving cell is congested (or the backend is
+// unreachable, which fails safe). The scheduler treats it like any
+// transfer failure — the item requeues onto other paths, and repeated
+// denials trip the path's circuit breaker, which is exactly the
+// behaviour a revoked permit should produce.
+var ErrNotPermitted = errors.New("permitplane: no valid permit for path")
+
+// GatePath decorates a scheduler path with a client-side permit gate:
+// every transfer first consults allowed (normally Cache.Allowed, so the
+// check is a cache hit on the fast path) and fails with ErrNotPermitted
+// when the path may not onload right now. Progress reporting is
+// preserved: wrapping a ProgressPath yields a ProgressPath, so the
+// stall watchdog keeps watching through the gate.
+func GatePath(inner scheduler.Path, allowed func(ctx context.Context) bool) scheduler.Path {
+	g := gatedPath{inner: inner, allowed: allowed}
+	if pp, ok := inner.(scheduler.ProgressPath); ok {
+		return &gatedProgressPath{gatedPath: g, inner: pp}
+	}
+	return &g
+}
+
+type gatedPath struct {
+	inner   scheduler.Path
+	allowed func(ctx context.Context) bool
+}
+
+func (g *gatedPath) Name() string { return g.inner.Name() }
+
+func (g *gatedPath) Transfer(ctx context.Context, item scheduler.Item) (int64, error) {
+	if !g.allowed(ctx) {
+		return 0, ErrNotPermitted
+	}
+	return g.inner.Transfer(ctx, item)
+}
+
+type gatedProgressPath struct {
+	gatedPath
+	inner scheduler.ProgressPath
+}
+
+func (g *gatedProgressPath) TransferProgress(ctx context.Context, item scheduler.Item, progress func(total int64)) (int64, error) {
+	if !g.allowed(ctx) {
+		return 0, ErrNotPermitted
+	}
+	return g.inner.TransferProgress(ctx, item, progress)
+}

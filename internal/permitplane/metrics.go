@@ -1,0 +1,152 @@
+package permitplane
+
+import "threegol/internal/obs"
+
+// Result and outcome labels as recorded in Metrics.
+const (
+	resultGranted = "granted"
+	resultDenied  = "denied"
+	resultError   = "error"
+
+	outcomeOK         = "ok"
+	outcomeBadRequest = "bad_request"
+
+	directionDL = "dl"
+	directionUL = "ul"
+)
+
+// Metrics holds the permit plane's instruments; register with
+// NewMetrics. The families split into three roles — router-side (batch
+// RPC handling), client-side (cache behaviour) and admission-loop —
+// and any one process normally drives only one role's instruments, but
+// they register together so METRICS.md documents the whole plane and
+// so Sharded.MergedRegistry has a complete destination to merge into.
+// A nil Metrics disables instrumentation.
+type Metrics struct {
+	// BatchRequests counts POST /permits/batch calls by outcome
+	// (ok | bad_request).
+	BatchRequests *obs.Counter
+	// BatchSize is the number of permit requests per batch RPC.
+	BatchSize *obs.Histogram
+	// Routed counts single GET /permit requests routed to a shard.
+	Routed *obs.Counter
+
+	// CacheHits counts Allowed calls served from the fresh cache with
+	// no refresh triggered.
+	CacheHits *obs.Counter
+	// CacheRefreshes counts cache refreshes by result
+	// (granted | denied | error).
+	CacheRefreshes *obs.Counter
+	// CacheProactive counts refreshes issued inside the jittered
+	// pre-expiry window, while the cached permit was still valid.
+	CacheProactive *obs.Counter
+	// CacheCoalesced counts Allowed calls that coalesced onto another
+	// caller's in-flight refresh instead of issuing their own.
+	CacheCoalesced *obs.Counter
+	// BatchFallbacks counts batch RPCs downgraded to per-permit GETs
+	// because the backend has no /permits/batch endpoint.
+	BatchFallbacks *obs.Counter
+
+	// ActiveGrants is the admission loop's count of live (unexpired)
+	// permits across all cells.
+	ActiveGrants *obs.Gauge
+	// AdmittedLoad is the onloading load the admission loop has fed
+	// back into the cell model, in bits/s, by direction (dl | ul).
+	AdmittedLoad *obs.Gauge
+}
+
+// NewMetrics registers the permit plane's metrics on r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		BatchRequests: r.NewCounter("permitplane_batch_requests_total",
+			"Batch permit RPCs served, by outcome (ok | bad_request).", "outcome"),
+		BatchSize: r.NewHistogram("permitplane_batch_size",
+			"Permit requests per batch RPC.",
+			0, 4096, 256),
+		Routed: r.NewCounter("permitplane_routed_total",
+			"Single GET /permit requests routed to a shard."),
+		CacheHits: r.NewCounter("permitplane_cache_hits_total",
+			"Permit-cache lookups served fresh with no refresh triggered."),
+		CacheRefreshes: r.NewCounter("permitplane_cache_refreshes_total",
+			"Permit-cache refreshes, by result (granted | denied | error).", "result"),
+		CacheProactive: r.NewCounter("permitplane_cache_proactive_total",
+			"Permit-cache refreshes issued proactively, inside the jittered pre-expiry window."),
+		CacheCoalesced: r.NewCounter("permitplane_cache_coalesced_total",
+			"Permit-cache lookups coalesced onto an in-flight refresh (singleflight)."),
+		BatchFallbacks: r.NewCounter("permitplane_batch_fallbacks_total",
+			"Batch RPCs downgraded to per-permit GETs (backend without /permits/batch)."),
+		ActiveGrants: r.NewGauge("permitplane_active_grants",
+			"Live (unexpired) permits the admission loop is carrying across all cells."),
+		AdmittedLoad: r.NewGauge("permitplane_admitted_load_bps",
+			"Onloading load the admission loop has fed back into the cell model, by direction (dl | ul).",
+			"direction"),
+	}
+}
+
+func (m *Metrics) batchServed(ok bool, size int) {
+	if m == nil {
+		return
+	}
+	outcome := outcomeBadRequest
+	if ok {
+		outcome = outcomeOK
+	}
+	m.BatchRequests.With(outcome).Inc()
+	if ok {
+		m.BatchSize.Observe(float64(size))
+	}
+}
+
+func (m *Metrics) routed() {
+	if m == nil {
+		return
+	}
+	m.Routed.Inc()
+}
+
+func (m *Metrics) cacheHit() {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+}
+
+func (m *Metrics) cacheRefreshed(granted bool, err error, proactive bool) {
+	if m == nil {
+		return
+	}
+	result := resultDenied
+	switch {
+	case err != nil:
+		result = resultError
+	case granted:
+		result = resultGranted
+	}
+	m.CacheRefreshes.With(result).Inc()
+	if proactive {
+		m.CacheProactive.Inc()
+	}
+}
+
+func (m *Metrics) cacheCoalesced() {
+	if m == nil {
+		return
+	}
+	m.CacheCoalesced.Inc()
+}
+
+func (m *Metrics) batchFellBack() {
+	if m == nil {
+		return
+	}
+	m.BatchFallbacks.Inc()
+}
+
+func (m *Metrics) admitted(activeGrants int, dlBps, ulBps float64) {
+	if m == nil {
+		return
+	}
+	m.ActiveGrants.Set(float64(activeGrants))
+	m.AdmittedLoad.With(directionDL).Set(dlBps)
+	m.AdmittedLoad.With(directionUL).Set(ulBps)
+}

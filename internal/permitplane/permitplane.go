@@ -1,0 +1,67 @@
+// Package permitplane is the production permit control plane of the
+// network-integrated deployment (§2.4, §5) — the layer that scales the
+// single-process permit backend of internal/permit to fleet-sized
+// device populations:
+//
+//   - Sharding. A Sharded backend runs N independent shards, each
+//     owning a deterministic slice of the cell ID space (ShardOf, a
+//     stable FNV-1a hash), each with its own permit.Backend, lock-free
+//     decision counters and obs registry. A router fronts them,
+//     serving the classic GET /permit and the batch POST
+//     /permits/batch, and merges per-shard metrics in shard order so
+//     the merged dump is byte-identical regardless of shard count.
+//   - Batching. BatchClient groups many devices' grant/refresh
+//     requests into one POST /permits/batch round trip, falling back
+//     to per-permit GETs against backends that predate the endpoint.
+//   - Caching. Cache is the device-side permit cache: TTL-jittered
+//     proactive refresh (seeded, deterministic jitter — 10k devices
+//     sharing a TTL do not synchronise their refreshes), singleflight
+//     refresh coalescing, and stale-while-refresh serving, so a
+//     refresh never stalls the request path and a backend restart
+//     never sees a thundering herd.
+//   - The closed admission loop. CellLoop wires internal/cellular into
+//     the decision path: utilisation comes from the live cell model,
+//     and every granted permit feeds its expected load back into the
+//     cell, so the grant ratio falls as cells fill — the paper's
+//     network-integrated mode, end-to-end.
+//
+// cmd/3golpermitd hosts a Sharded plane (-shards N); cmd/3golpermitload
+// drives one with ≥100k simulated clients.
+package permitplane
+
+import "hash/fnv"
+
+// ShardOf maps a cell ID to its owning shard: a stable FNV-1a hash of
+// the cell ID modulo the shard count. Every component — router,
+// harness, tests — uses this one function, so a cell's decisions always
+// land on the same shard and per-cell state never splits.
+func ShardOf(cellID string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(cellID)) // hash.Hash.Write never errors
+	return int(h.Sum64() % uint64(shards))
+}
+
+// splitmix64 is the SplitMix64 mixing function — the same generator the
+// eventlog uses for trace IDs. It turns a counter or hash into a
+// well-distributed 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// JitterFrac returns the n-th deterministic uniform draw in [0, 1) of a
+// named client's jitter stream. It is stateless — seed, name and draw
+// index fully determine the value — which is what lets the load harness
+// run 100k clients without 100k RNG states, and lets tests replay the
+// exact schedule of any client.
+func JitterFrac(seed int64, name string, n uint64) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name)) // hash.Hash.Write never errors
+	x := splitmix64(uint64(seed) ^ h.Sum64() ^ splitmix64(n))
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,137 @@
+package permitplane
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock.Clock for TTL and latency tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c *fakeClock) Sleep(d time.Duration) { c.advance(d) }
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 16} {
+		for i := 0; i < 1000; i++ {
+			cell := fmt.Sprintf("bs%d/s%d", i/3, i%3)
+			s1 := ShardOf(cell, shards)
+			s2 := ShardOf(cell, shards)
+			if s1 != s2 {
+				t.Fatalf("ShardOf(%q, %d) unstable: %d then %d", cell, shards, s1, s2)
+			}
+			if s1 < 0 || s1 >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", cell, shards, s1)
+			}
+		}
+	}
+}
+
+func TestShardOfSpreadsCells(t *testing.T) {
+	const shards, cells = 16, 4096
+	counts := make([]int, shards)
+	for i := 0; i < cells; i++ {
+		counts[ShardOf(fmt.Sprintf("cell-%d", i), shards)]++
+	}
+	// A stable hash should spread 4096 cells roughly evenly over 16
+	// shards (256 each); a shard at 0 or >2× the mean means the hash is
+	// broken, not merely unlucky.
+	for s, n := range counts {
+		if n == 0 {
+			t.Errorf("shard %d owns no cells", s)
+		}
+		if n > 2*cells/shards {
+			t.Errorf("shard %d owns %d of %d cells (mean %d)", s, n, cells, cells/shards)
+		}
+	}
+}
+
+func TestJitterFracDeterministicAndBounded(t *testing.T) {
+	for n := uint64(0); n < 100; n++ {
+		a := JitterFrac(42, "device-7", n)
+		b := JitterFrac(42, "device-7", n)
+		if a != b {
+			t.Fatalf("draw %d not deterministic: %v then %v", n, a, b)
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("draw %d = %v outside [0,1)", n, a)
+		}
+	}
+	if JitterFrac(42, "device-7", 0) == JitterFrac(42, "device-8", 0) {
+		t.Error("different devices drew identical jitter")
+	}
+	if JitterFrac(42, "device-7", 0) == JitterFrac(43, "device-7", 0) {
+		t.Error("different seeds drew identical jitter")
+	}
+	if JitterFrac(42, "device-7", 0) == JitterFrac(42, "device-7", 1) {
+		t.Error("consecutive draws identical")
+	}
+}
+
+func TestUtilTableFallbackAndDenyUnknown(t *testing.T) {
+	open := NewUtilTable(0.25, false)
+	if got := open.Get("unknown"); got != 0.25 {
+		t.Errorf("fallback table: unknown cell = %v, want 0.25", got)
+	}
+	open.Set("bs0/s0", 0.9)
+	if got := open.Get("bs0/s0"); got != 0.9 {
+		t.Errorf("known cell = %v, want 0.9", got)
+	}
+
+	closed := NewUtilTable(0.25, true)
+	if got := closed.Get("unknown"); got != 1.0 {
+		t.Errorf("deny-unknown table: unknown cell = %v, want 1.0 (fail closed)", got)
+	}
+	closed.Set("bs0/s0", 0.1)
+	if got := closed.Get("bs0/s0"); got != 0.1 {
+		t.Errorf("deny-unknown table: known cell = %v, want 0.1", got)
+	}
+}
+
+func TestReadFeed(t *testing.T) {
+	tbl := NewUtilTable(0, false)
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	feed := "bs0/s0 0.5\nbs0/s1 0.9\n\ngarbage\nbs0/s2 not-a-number\nbs0/s0 0.6\n"
+	if err := ReadFeed(strings.NewReader(feed), tbl, logf); err != nil {
+		t.Fatalf("ReadFeed: %v", err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("table has %d cells, want 2", tbl.Len())
+	}
+	if got := tbl.Get("bs0/s0"); got != 0.6 {
+		t.Errorf("bs0/s0 = %v, want 0.6 (last value wins)", got)
+	}
+	if len(logged) != 3 { // two malformed lines + the summary
+		t.Errorf("logged %d lines, want 3: %q", len(logged), logged)
+	}
+}
+
+func TestReadFeedReportsReadFailure(t *testing.T) {
+	if err := ReadFeed(failingReader{}, NewUtilTable(0, false), nil); err == nil {
+		t.Error("read failure not surfaced")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, fmt.Errorf("wire cut") }

@@ -17,6 +17,11 @@
 # the resilience counters (requeues, stall aborts, breaker opens) so a
 # PR that regresses recovery behaviour shows up as a diff.
 #
+# And BENCH_permit.json: 3golpermitload drives 100k simulated clients
+# against a real sharded 3golpermitd over HTTP, tracking decisions/sec,
+# grant ratio and p50/p99 RPC latency so a PR that regresses the permit
+# plane's hot path shows up as a diff.
+#
 # Only simulation-path work runs here: the prototype-path experiments
 # (fig6–fig9) drive real sockets for seconds per rep and belong to
 # manual runs, not the perf trajectory.
@@ -83,3 +88,29 @@ jq -n \
       chaos_report: $chaos[0]}' > BENCH_chaos.json
 
 echo "bench.sh: wrote BENCH_chaos.json"
+
+echo '==> 3golpermitload vs sharded 3golpermitd (permit plane)'
+# A real daemon on a loopback port, fed the same cell population the
+# harness simulates (utilisation cycles 0.0–0.9 across cell-0..255),
+# running with -deny-unknown so the feed is load-bearing. The harness
+# waits for the port to come up, then drives 100k clients; the final
+# kill exercises the daemon's graceful drain.
+permit=$(mktemp)
+feed=$(mktemp)
+permitd_bin=$(mktemp)
+trap 'rm -f "$fleet" "$sim" "$bench" "$tput" "$chaos" "$vet" "$permit" "$feed" "$permitd_bin"' EXIT
+awk 'BEGIN { for (i = 0; i < 256; i++) printf "cell-%d %.1f\n", i, (i % 10) / 10 }' > "$feed"
+go build -o "$permitd_bin" ./cmd/3golpermitd
+"$permitd_bin" -listen 127.0.0.1:7391 -shards 4 -deny-unknown -stdin-feed < "$feed" &
+permitd_pid=$!
+timeout 120 go run ./cmd/3golpermitload \
+    -backend http://127.0.0.1:7391 -clients 100000 -duration 300 -json "$permit"
+kill "$permitd_pid"
+wait "$permitd_pid" 2> /dev/null || true
+
+jq -n \
+    --slurpfile permit "$permit" \
+    '{generated_by: "scripts/bench.sh",
+      permit_report: $permit[0]}' > BENCH_permit.json
+
+echo "bench.sh: wrote BENCH_permit.json"

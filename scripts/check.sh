@@ -17,7 +17,12 @@
 #      under a hostile scenario and under blackout-all; the command
 #      exits non-zero if any resilience invariant (exactly-once
 #      delivery, duplicate-waste bound, ADSL-only completion) breaks
-#   9. metrics docs — METRICS.md must match the live registry
+#   9. permit smoke — 3golpermitload -smoke drives a few thousand
+#      simulated clients through an in-process sharded permit plane
+#      over real HTTP and asserts the decision invariants (no errors,
+#      every client served, mixed grant/deny split); the JSON report is
+#      left at bench-permit-smoke.json for CI artifact upload
+#  10. metrics docs — METRICS.md must match the live registry
 #      (3golobs gen-docs -check)
 #
 # Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
@@ -81,6 +86,12 @@ echo '==> chaos smoke (3golfleet -chaos invariants)'
 timeout 180 go run ./cmd/3golfleet -chaos hostile -homes 256 -seed 1 -json > /dev/null
 timeout 180 go run ./cmd/3golfleet -chaos blackout-all -homes 128 -seed 1 -events "$events" > /dev/null
 go run ./cmd/3goltrace -check "$events"
+
+echo '==> permit smoke (3golpermitload -smoke)'
+# The permit-plane load harness runs a small population against an
+# in-process sharded backend and asserts its own invariants, exiting
+# non-zero on any violation. The report is kept for CI upload.
+timeout 120 go run ./cmd/3golpermitload -smoke -json bench-permit-smoke.json
 
 echo '==> metrics docs (3golobs gen-docs -check)'
 # METRICS.md is rendered from the live metric registry; adding, renaming
