@@ -257,7 +257,10 @@ func BenchmarkFig11cAdoption(b *testing.B) {
 func BenchmarkFleetThroughput(b *testing.B) {
 	const homes = 100_000
 	widths := []int{1, 4}
-	if n := runtime.NumCPU(); n > 4 {
+	if n := runtime.NumCPU(); n >= 16 {
+		widths = append(widths, 16)
+	}
+	if n := runtime.NumCPU(); n > 4 && n != 16 {
 		widths = append(widths, n)
 	}
 	for _, n := range widths {

@@ -5,8 +5,13 @@
 //
 // The run is deterministic in (-homes, -days, -shards, -seed): the
 // -workers flag only sets concurrency and can never change results.
+// -scale multiplies -homes and -shards together — the population scale
+// axis from one DSLAM (-scale 1) to a million-home city (-scale 56) —
+// and the -json report carries the memory envelope (peak RSS, heap
+// totals) next to wall time so both regress visibly in CI.
 //
 //	3golfleet -homes 18000 -days 1 -shards 8 -workers 8 -json
+//	3golfleet -scale 56 -workers 16 -json        # ≈1M homes, 448 shards
 //
 // With -validate it instead reads a -json report from stdin and exits
 // non-zero if it is malformed — the CI smoke gate. With -events FILE the
@@ -31,6 +36,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"threegol/internal/fault"
@@ -41,12 +49,13 @@ import (
 // fleetReport is the -json document: the engine's evaluation report plus
 // the run's performance envelope.
 type fleetReport struct {
-	Experiment  string  `json:"experiment"`
-	Shards      int     `json:"shards"`
-	Workers     int     `json:"workers"`
-	Seed        int64   `json:"seed"`
-	WallSecs    float64 `json:"wall_seconds"`
-	HomesPerSec float64 `json:"homes_per_sec"`
+	Experiment  string    `json:"experiment"`
+	Shards      int       `json:"shards"`
+	Workers     int       `json:"workers"`
+	Seed        int64     `json:"seed"`
+	WallSecs    float64   `json:"wall_seconds"`
+	HomesPerSec float64   `json:"homes_per_sec"`
+	Mem         memReport `json:"mem"`
 	fleet.Report
 	// Metrics is the merged obs registry dump (-metrics); unlike the
 	// wall-time fields it is bit-identical across worker counts.
@@ -58,6 +67,7 @@ func main() {
 		homes    = flag.Int("homes", 18000, "households to simulate")
 		days     = flag.Int("days", 1, "days of demand per household")
 		shards   = flag.Int("shards", 8, "logical shards (part of the population definition)")
+		scale    = flag.Int("scale", 1, "multiply -homes and -shards by this factor (one DSLAM at -scale 1, a city at -scale 56 ≈ 1M homes)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent shard simulations (never affects results)")
 		seed     = flag.Int64("seed", 1, "seed deriving every shard's RNG stream")
 		asJSON   = flag.Bool("json", false, "emit the machine-readable report")
@@ -65,13 +75,21 @@ func main() {
 		events   = flag.String("events", "", "run with the flight recorder and write the merged event log (JSONL) to this file; \"-\" = stdout")
 		validate = flag.Bool("validate", false, "validate a -json report read from stdin and exit")
 		chaos    = flag.String("chaos", "", "run the chaos harness under this fault scenario instead of the fleet simulation (\"list\" prints the catalogue)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memprof  = flag.String("memprofile", "", "write an allocation profile after the run to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
 
-	if *chaos != "" {
-		runChaos(*chaos, *homes, *shards, *seed, *workers, *asJSON, *events)
-		return
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "3golfleet: -scale must be ≥ 1")
+		os.Exit(2)
 	}
+	// -scale grows population and partition together so per-shard work —
+	// and with it the memory envelope per worker — stays constant along
+	// the scale axis. (Changing shards changes the RNG streams, so runs
+	// at different scales are different populations, not refinements.)
+	*homes *= *scale
+	*shards *= *scale
 
 	if *validate {
 		if err := validateReport(os.Stdin); err != nil {
@@ -79,6 +97,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("report ok")
+		return
+	}
+
+	stopProf := startProfiles(*cpuprof, *memprof)
+
+	if *chaos != "" {
+		runChaos(*chaos, *homes, *shards, *seed, *workers, *asJSON, *events, stopProf)
 		return
 	}
 
@@ -91,6 +116,7 @@ func main() {
 		os.Exit(1)
 	}
 	wall := time.Since(start) //3golvet:allow wallclock — measuring real engine throughput
+	stopProf()
 
 	if *events != "" {
 		if err := writeEventLog(res.EventLog(), *events); err != nil {
@@ -106,6 +132,7 @@ func main() {
 		Seed:        *seed,
 		WallSecs:    wall.Seconds(),
 		HomesPerSec: float64(*homes) / wall.Seconds(),
+		Mem:         readMem(),
 		Report:      res.Report(),
 	}
 	if r := res.MetricsRegistry(); r != nil {
@@ -133,20 +160,122 @@ func main() {
 	}
 }
 
+// memReport is the run's memory envelope, reported alongside wall time
+// so a throughput regression and a footprint regression are caught by
+// the same artifact (scripts/bench.sh archives these documents).
+type memReport struct {
+	// PeakRSSBytes is the process high-water resident set (VmHWM); 0 on
+	// platforms without /proc.
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	// TotalAllocBytes and Mallocs are runtime.MemStats cumulative heap
+	// counters: bytes ever allocated and the number of heap objects. The
+	// streaming merge keeps both near-flat along the -scale axis.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	// HeapSysBytes is the heap memory held from the OS at report time.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+}
+
+// readMem snapshots the process memory envelope after a run.
+func readMem() memReport {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memReport{
+		PeakRSSBytes:    readPeakRSS(),
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		HeapSysBytes:    ms.HeapSys,
+	}
+}
+
+// readPeakRSS reads the process's peak resident set from
+// /proc/self/status (VmHWM, reported in kB), falling back to the current
+// resident set (VmRSS) on kernels that omit the high-water mark. Returns
+// 0 when neither is available (non-Linux), so callers treat the field as
+// best-effort.
+func readPeakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	var rss int64
+	for _, line := range strings.Split(string(data), "\n") {
+		hwm := strings.HasPrefix(line, "VmHWM:")
+		if !hwm && !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		if hwm {
+			return kb * 1024 // the true high-water mark wins outright
+		}
+		rss = kb * 1024
+	}
+	return rss
+}
+
 // chaosReport is the -chaos -json document.
 type chaosReport struct {
-	Experiment string  `json:"experiment"`
-	Shards     int     `json:"shards"`
-	Workers    int     `json:"workers"`
-	Seed       int64   `json:"seed"`
-	WallSecs   float64 `json:"wall_seconds"`
-	Healthy    bool    `json:"healthy"`
+	Experiment string    `json:"experiment"`
+	Shards     int       `json:"shards"`
+	Workers    int       `json:"workers"`
+	Seed       int64     `json:"seed"`
+	WallSecs   float64   `json:"wall_seconds"`
+	Mem        memReport `json:"mem"`
+	Healthy    bool      `json:"healthy"`
 	fleet.ChaosReport
+}
+
+// startProfiles turns on the requested pprof captures and returns the
+// function that finishes them: it stops the CPU profile and writes the
+// allocation profile (after a GC, so the live-heap numbers are exact).
+// Call it exactly once, right after the timed run — both paths do it
+// before composing their report so the profiles cover only engine work.
+func startProfiles(cpuprof, memprof string) func() {
+	if cpuprof != "" {
+		f, err := os.Create(cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpuprof != "" {
+			pprof.StopCPUProfile()
+		}
+		if memprof == "" {
+			return
+		}
+		f, err := os.Create(memprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: memprofile:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: memprofile:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "3golfleet: memprofile:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runChaos executes the chaos harness and exits non-zero when any
 // resilience invariant broke — the CI chaos gate.
-func runChaos(scenario string, homes, shards int, seed int64, workers int, asJSON bool, events string) {
+func runChaos(scenario string, homes, shards int, seed int64, workers int, asJSON bool, events string, stopProf func()) {
 	if scenario == "list" {
 		for _, s := range fault.Scenarios() {
 			fmt.Println(s)
@@ -168,6 +297,7 @@ func runChaos(scenario string, homes, shards int, seed int64, workers int, asJSO
 		os.Exit(1)
 	}
 	wall := time.Since(start) //3golvet:allow wallclock — measuring real engine throughput
+	stopProf()
 	if events != "" {
 		if err := writeEventLog(res.EventLog(), events); err != nil {
 			fmt.Fprintln(os.Stderr, "3golfleet: writing events:", err)
@@ -180,6 +310,7 @@ func runChaos(scenario string, homes, shards int, seed int64, workers int, asJSO
 		Workers:     workers,
 		Seed:        seed,
 		WallSecs:    wall.Seconds(),
+		Mem:         readMem(),
 		ChaosReport: res.Report(sc),
 	}
 	rep.Healthy = rep.ChaosReport.Healthy()
@@ -238,6 +369,8 @@ func printHuman(rep fleetReport) {
 	fmt.Printf("fleet: %d homes (%d viewers), %d day(s), %d shards on %d workers, seed %d\n",
 		rep.Homes, rep.Viewers, rep.Days, rep.Shards, rep.Workers, rep.Seed)
 	fmt.Printf("  engine     %.2fs wall, %.0f homes/sec\n", rep.WallSecs, rep.HomesPerSec)
+	fmt.Printf("  memory     %.0f MB peak RSS, %.0f MB allocated over %d objects\n",
+		float64(rep.Mem.PeakRSSBytes)/(1<<20), float64(rep.Mem.TotalAllocBytes)/(1<<20), rep.Mem.Mallocs)
 	fmt.Printf("  sessions   %d total, %d boosted, %.2f MB onloaded per home-day\n",
 		rep.Sessions, rep.BoostedSessions, rep.OnloadedMBPerH)
 	fmt.Printf("  speedup    p50 %.2fx  p90 %.2fx  p99 %.2fx  (%.0f%% of homes ≥1.2x)\n",
@@ -271,6 +404,9 @@ func validateReport(r *os.File) error {
 		return fmt.Errorf("wall_seconds = %v, want > 0", rep.WallSecs)
 	case rep.HomesPerSec <= 0:
 		return fmt.Errorf("homes_per_sec = %v, want > 0", rep.HomesPerSec)
+	case rep.Mem.TotalAllocBytes == 0 || rep.Mem.Mallocs == 0:
+		return fmt.Errorf("mem counters empty: total_alloc_bytes=%d mallocs=%d",
+			rep.Mem.TotalAllocBytes, rep.Mem.Mallocs)
 	case rep.SpeedupP50 < 1:
 		return fmt.Errorf("speedup_p50 = %v, want ≥ 1", rep.SpeedupP50)
 	case rep.BackhaulMbps <= 0:

@@ -122,6 +122,17 @@ type Population struct {
 // (the canonical subscriber-distance model), clipped to the technology
 // reach so every line syncs.
 func (p Population) Sample(n int, rng *rand.Rand) []Line {
+	lines := make([]Line, n)
+	for i := range lines {
+		lines[i] = p.SampleOne(rng)
+	}
+	return lines
+}
+
+// SampleOne draws a single line with Sample's exact per-line RNG stream
+// but no slice allocation — the fleet engine's per-home generator calls
+// it once per household inside an allocation-free loop.
+func (p Population) SampleOne(rng *rand.Rand) Line {
 	mean := p.MeanLoopMetres
 	if mean <= 0 {
 		mean = 1500
@@ -131,19 +142,15 @@ func (p Population) Sample(n int, rng *rand.Rand) []Line {
 		margin = 6
 	}
 	reach := p.Technology.reach() - margin*150 - 50
-	lines := make([]Line, n)
-	for i := range lines {
-		d := rng.ExpFloat64() * mean
-		if d > reach {
-			d = reach * (0.8 + 0.2*rng.Float64())
-		}
-		lines[i] = Line{
-			Technology:    p.Technology,
-			LoopMetres:    d,
-			NoiseMarginDB: margin,
-		}
+	d := rng.ExpFloat64() * mean
+	if d > reach {
+		d = reach * (0.8 + 0.2*rng.Float64())
 	}
-	return lines
+	return Line{
+		Technology:    p.Technology,
+		LoopMetres:    d,
+		NoiseMarginDB: margin,
+	}
 }
 
 // DownRates extracts the downlink sync rates of a line set (bits/s).

@@ -3,10 +3,15 @@
 // city scale. A synthetic population of homes — each a DSL line drawn
 // from a loop-length population, a handful of 3G phones with
 // estimator-derived onloading quotas, and diurnal video demand — is
-// partitioned into logical shards. Every shard runs on its own
-// simclock with an independent, seed-derived RNG stream
+// partitioned into logical shards. Every shard runs on its own time
+// cursor with an independent, seed-derived RNG stream
 // (rand.New(rand.NewSource(seed ^ shardID))), and per-shard results
-// merge-reduce through Mergeable accumulators in shard order.
+// merge-reduce through Mergeable accumulators in shard order — a
+// streaming fold that never holds more than O(workers) accumulators
+// resident (see MapReduce). The per-shard engine keeps home state in
+// struct-of-arrays columns inside pooled scratch, so its inner loop
+// performs no heap allocations (see home.go); PERFORMANCE.md documents
+// the resulting envelope and how to re-measure it.
 //
 // The engine is deterministic across worker counts: Run(cfg, 1) and
 // Run(cfg, 16) produce bit-identical merged output, because the shard
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"threegol/internal/dsl"
 	"threegol/internal/quota"
@@ -111,7 +117,7 @@ type Config struct {
 	Metrics bool
 	// Events enables the flight recorder: each shard fills a private
 	// eventlog.Log (IDs derived from Seed and the shard index, times
-	// from the shard's simclock), merged in shard order alongside
+	// from the shard's engine time cursor), merged in shard order alongside
 	// Result. The merged stream is bit-identical for every worker
 	// count. Off by default — a trace per session is far heavier than
 	// the counters.
@@ -186,7 +192,82 @@ type Mergeable[A any] interface {
 // each accumulator is built single-threaded from a shard-private RNG
 // and the fold order is fixed, the reduced value is bit-identical for
 // every worker count. It returns the zero A when shards is empty.
+//
+// The fold is streaming: each shard's accumulator merges into the
+// running total as soon as every lower-indexed shard has merged, and is
+// then unreachable. A run therefore never holds more than
+// O(workers) shard accumulators resident — not O(shards) — which is
+// what lets a million-home run over hundreds of shards fit in a small,
+// flat memory envelope. Workers claim shard indexes from a shared
+// atomic counter (work stealing), so a straggler shard never idles the
+// rest of the pool; because indexes are claimed in ascending order, at
+// most `workers` results can be ahead of the fold cursor, which bounds
+// the out-of-order pending set.
 func MapReduce[A Mergeable[A]](shards []Shard, workers int, simulate func(Shard) A) A {
+	var zero A
+	if len(shards) == 0 {
+		return zero
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers == 1 {
+		acc := simulate(shards[0])
+		for _, sh := range shards[1:] {
+			acc.Merge(simulate(sh))
+		}
+		return acc
+	}
+	type done struct {
+		idx int
+		res A
+	}
+	results := make(chan done, workers)
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				results <- done{idx: i, res: simulate(shards[i])}
+			}
+		}()
+	}
+	// Chain-fold completed shards in index order; results that finish
+	// ahead of the fold cursor wait in pending (≤ workers entries).
+	pending := make(map[int]A, workers)
+	var acc A
+	fold := 0
+	for received := 0; received < len(shards); received++ {
+		d := <-results
+		pending[d.idx] = d.res
+		for {
+			r, ok := pending[fold]
+			if !ok {
+				break
+			}
+			delete(pending, fold)
+			if fold == 0 {
+				acc = r
+			} else {
+				acc.Merge(r)
+			}
+			fold++
+		}
+	}
+	return acc
+}
+
+// mapReduceResident is the all-resident reference fold: simulate every
+// shard, keep every accumulator, fold at the end. It exists so tests
+// can pin the streaming MapReduce byte-identical to the naive
+// materialise-then-fold semantics; production paths never use it.
+func mapReduceResident[A Mergeable[A]](shards []Shard, workers int, simulate func(Shard) A) A {
 	var zero A
 	if len(shards) == 0 {
 		return zero

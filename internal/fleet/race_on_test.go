@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds allocations that would fail the
+// engine's zero-allocation contract tests.
+const raceEnabled = true

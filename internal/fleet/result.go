@@ -95,27 +95,26 @@ func (r *Result) MetricsRegistry() *obs.Registry {
 }
 
 // observeHome records a generated household's static quantities.
-func (r *Result) observeHome(h *home, days int) {
+func (r *Result) observeHome(viewer bool, dailyBudget, baseMobileDaily float64, days int) {
 	r.metrics.home()
 	r.Homes++
-	if h.viewer {
+	if viewer {
 		r.Viewers++
 	}
-	r.BudgetBytes += h.dailyBudget * float64(days)
-	r.BaseMobileDailyBytes += h.baseMobileDaily
+	r.BudgetBytes += dailyBudget * float64(days)
+	r.BaseMobileDailyBytes += baseMobileDaily
 }
 
-// session processes one video request at day-local time tod.
-func (r *Result) session(h *home, tod, size float64) {
+// recordSession folds one executed video request into the accumulators:
+// home is the global home ID, m the home's boost model, tod the
+// day-local request time, and b the boost outcome the engine computed
+// against the home's remaining budget (the engine owns the SoA state;
+// the Result owns only the merge-reduced aggregates).
+func (r *Result) recordSession(home int, m BoostModel, tod, size float64, b Boost) {
 	r.Sessions++
 	r.TotalBytes += size
-	b := h.model.Apply(size, h.remaining)
 	r.metrics.session(b.OnloadedBytes)
-	r.recordSessionTrace(h, size, b)
-	h.remaining -= b.OnloadedBytes
-	h.dslSec += b.DSLSeconds
-	h.boostSec += b.BoostSeconds
-	h.sessions++
+	r.recordSessionTrace(home, m, size, b)
 	r.DSLSeconds += b.DSLSeconds
 	r.BoostSeconds += b.BoostSeconds
 	if b.OnloadedBytes > 0 {
@@ -123,11 +122,11 @@ func (r *Result) session(h *home, tod, size float64) {
 		r.OnloadedBytes += b.OnloadedBytes
 		r.Budgeted.Spread(tod, b.BoostSeconds, b.OnloadedBytes)
 	}
-	if size >= h.model.MinBoostBytes {
+	if size >= m.MinBoostBytes {
 		// The unlimited counterfactual onloads the ideal 3G share of
 		// every boostable video regardless of budget.
-		ideal := size * h.model.Share()
-		r.Unlimited.Spread(tod, size*8/(h.model.DSLBits+h.model.G3Bits), ideal)
+		ideal := size * m.Share()
+		r.Unlimited.Spread(tod, size*8/(m.DSLBits+m.G3Bits), ideal)
 	}
 }
 
@@ -135,27 +134,27 @@ func (r *Result) session(h *home, tod, size float64) {
 // "fleet.session" root spanning the whole (boosted) transfer, one leg
 // span per path with its analytic duration, and a budget-exhaustion
 // point for boostable videos the allowance could not cover. Begin times
-// come from the shard's simclock through the log's time source; leg
+// come from the engine's time cursor through the log's time source; leg
 // ends are computed from the boost model (EndAt), since the fleet model
 // is analytic rather than discrete-event per byte.
-func (r *Result) recordSessionTrace(h *home, size float64, b Boost) {
+func (r *Result) recordSessionTrace(home int, m BoostModel, size float64, b Boost) {
 	if r.events == nil {
 		return
 	}
 	now := r.events.Now()
 	root := r.events.Begin(eventlog.TraceContext{}, "fleet.session",
-		"home", eventlog.Int(int64(h.id)), "bytes", eventlog.Float(size))
+		"home", eventlog.Int(int64(home)), "bytes", eventlog.Float(size))
 	dslBytes := size - b.OnloadedBytes
 	adsl := r.events.Begin(root.Context(), "fleet.path.adsl",
 		"path", "adsl", "bytes", eventlog.Float(dslBytes))
-	adsl.EndAt(now+dslBytes*8/h.model.DSLBits, "outcome", "ok")
+	adsl.EndAt(now+dslBytes*8/m.DSLBits, "outcome", "ok")
 	if b.OnloadedBytes > 0 {
 		g3 := r.events.Begin(root.Context(), "fleet.path.3g",
 			"path", "3g", "bytes", eventlog.Float(b.OnloadedBytes))
-		g3.EndAt(now+b.OnloadedBytes*8/h.model.G3Bits, "outcome", "ok")
-	} else if size >= h.model.MinBoostBytes {
+		g3.EndAt(now+b.OnloadedBytes*8/m.G3Bits, "outcome", "ok")
+	} else if size >= m.MinBoostBytes {
 		r.events.Point(root.Context(), "fleet.budget_exhausted",
-			"home", eventlog.Int(int64(h.id)))
+			"home", eventlog.Int(int64(home)))
 	}
 	root.EndAt(now+b.BoostSeconds,
 		"onloaded", eventlog.Float(b.OnloadedBytes),

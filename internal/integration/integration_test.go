@@ -1,8 +1,5 @@
-// Package integration ties the subsystems together the way a deployment
-// would: the network-integrated permit loop (cellular monitoring →
-// backend → device gate → discovery), and the full OTT data path
-// (device proxies + discovery + HLS-aware client proxy + player) built
-// from the exported APIs rather than the emulated Home.
+// Cross-subsystem deployment-shaped tests; the package doc lives in
+// doc.go, the only non-test file.
 package integration
 
 import (

@@ -124,6 +124,27 @@ func sampleCap(rng *rand.Rand, rank float64) float64 {
 	return planCaps[len(planCaps)-1].Bytes
 }
 
+// samplePlan draws a subscriber's plan cap and cap-usage fraction: one
+// uniform rank, the rank-correlated cap, and the Fig. 10 anchored
+// fraction. Both MNO samplers share it so their RNG streams agree.
+func samplePlan(rng *rand.Rand) (capBytes, usedFrac float64) {
+	rank := rng.Float64()
+	capBytes = sampleCap(rng, rank)
+	usedFrac = sampleUsedFrac(rank)
+	return capBytes, usedFrac
+}
+
+// sampleMonthUsage draws one month of usage wobbling around base,
+// clamped at the plan cap.
+func sampleMonthUsage(rng *rand.Rand, base, capBytes, wobble float64) float64 {
+	w := stats.TruncNormal{Mean: 1, Std: wobble, Lo: 0.5, Hi: 1.6}.Sample(rng)
+	u := base * w
+	if u > capBytes {
+		u = capBytes
+	}
+	return u
+}
+
 // SampleMNOUser draws one cellular subscriber: plan cap (rank-correlated
 // with usage), cap-usage fraction from the Fig. 10 anchored CDF, and
 // `months` of wobbling monthly usage history. months ≤ 0 selects 18 and
@@ -137,20 +158,39 @@ func SampleMNOUser(rng *rand.Rand, id, months int, wobble float64) MNOUser {
 	if wobble <= 0 {
 		wobble = 0.35
 	}
-	rank := rng.Float64()
-	capB := sampleCap(rng, rank)
-	frac := sampleUsedFrac(rank)
+	capB, frac := samplePlan(rng)
 	base := capB * frac
 	usage := make([]float64, months)
 	for m := range usage {
-		w := stats.TruncNormal{Mean: 1, Std: wobble, Lo: 0.5, Hi: 1.6}.Sample(rng)
-		u := base * w
-		if u > capB {
-			u = capB
-		}
-		usage[m] = u
+		usage[m] = sampleMonthUsage(rng, base, capB, wobble)
 	}
 	return MNOUser{ID: id, CapBytes: capB, UsedFrac: frac, MonthlyUsage: usage}
+}
+
+// SampleMNOFree draws one subscriber with SampleMNOUser's exact RNG
+// stream but writes the free-capacity series (cap − usage, clamped at 0
+// — what MNOUser.FreeSeries computes) into the caller's buffer instead
+// of allocating the usage history. free must hold at least `months`
+// entries after defaulting (months ≤ 0 selects 18, wobble ≤ 0 selects
+// 0.35); free[:months] is filled. The fleet engine's allocation-free
+// home generator calls it with a pooled per-shard scratch buffer.
+func SampleMNOFree(rng *rand.Rand, months int, wobble float64, free []float64) (capBytes, usedFrac float64) {
+	if months <= 0 {
+		months = 18
+	}
+	if wobble <= 0 {
+		wobble = 0.35
+	}
+	capB, frac := samplePlan(rng)
+	base := capB * frac
+	for m := 0; m < months; m++ {
+		f := capB - sampleMonthUsage(rng, base, capB, wobble)
+		if f < 0 {
+			f = 0
+		}
+		free[m] = f
+	}
+	return capB, frac
 }
 
 // GenerateMNO synthesises the MNO population.

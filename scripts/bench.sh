@@ -4,13 +4,28 @@
 # root so successive PRs can diff engine throughput:
 #
 #   1. 3golfleet -json            — city-scale engine run (wall time,
-#      homes/sec, evaluation aggregates)
+#      homes/sec, memory envelope, evaluation aggregates)
 #   2. 3golbench fig11a -json     — the speedup-CDF experiment's wall
 #      time and headline metrics
-#   3. BenchmarkFleetThroughput   — go test -bench engine scaling
-#      (homes/s at shard widths 1, 4, NumCPU)
-#   4. 3golvet -json              — analyzer wall time over the whole
+#   3. BenchmarkFleetThroughput   — go test -bench -benchmem engine
+#      scaling (homes/s + allocs/op at shard widths 1, 4, 16, NumCPU)
+#   4. BenchmarkFleetInnerLoop    — the engine's per-home hot path over
+#      a warmed scratch; must report exactly 0 allocs/op
+#   5. million-home run           — 3golfleet at ≥1M homes × 1 day via
+#      -scale, gated at 10 s wall; archived as bench-fleet-1m.json for
+#      CI artifact upload and embedded as fleet_report_1m
+#   6. 3golvet -json              — analyzer wall time over the whole
 #      module (vet_seconds), so pass regressions show up in the diff
+#
+# The script is also the engine's perf ratchet: before overwriting
+# BENCH_fleet.json it compares the fresh numbers against the committed
+# ones and fails on a real regression — homes/s falling below half the
+# previous figure at any width (wide tolerance: widths run for seconds,
+# but machines differ), allocs/op growing past 2x + 16 (allocation
+# counts are stable, so the slack only covers iteration-count rounding),
+# the 16-shard/1-shard scaling ratio dropping under 12x, or the inner
+# loop allocating at all. Fields absent from the old file (first run
+# after a schema change) skip their comparison rather than fail.
 #
 # It also writes BENCH_chaos.json: the chaos harness run under the
 # hostile scenario, tracking the fault-injection engine's wall time and
@@ -34,12 +49,16 @@ cd "$(dirname "$0")/.."
 command -v jq > /dev/null || { echo "bench.sh: jq is required to compose BENCH_fleet.json" >&2; exit 1; }
 
 fleet=$(mktemp)
+fleet1m=$(mktemp)
 sim=$(mktemp)
 bench=$(mktemp)
 tput=$(mktemp)
+inner=$(mktemp)
+innertp=$(mktemp)
 chaos=$(mktemp)
 vet=$(mktemp)
-trap 'rm -f "$fleet" "$sim" "$bench" "$tput" "$chaos" "$vet"' EXIT
+fresh=$(mktemp)
+trap 'rm -f "$fleet" "$fleet1m" "$sim" "$bench" "$tput" "$inner" "$innertp" "$chaos" "$vet" "$fresh"' EXIT
 
 echo '==> 3golvet -json (analyzer wall time)'
 # The analyzer's own latency is part of the perf trajectory: check.sh
@@ -54,28 +73,99 @@ go run ./cmd/3golfleet -validate < "$fleet"
 echo '==> 3golbench fig11a -json'
 go run ./cmd/3golbench fig11a -json > "$sim"
 
-echo '==> go test -bench BenchmarkFleetThroughput'
-go test -run '^$' -bench '^BenchmarkFleetThroughput$' -benchtime 1x . | tee "$bench"
+echo '==> go test -bench BenchmarkFleetThroughput -benchmem'
+# 2 s per width so the scratch pool warms past its cold first iteration
+# (the ratchet compares steady-state throughput, not startup).
+go test -run '^$' -bench '^BenchmarkFleetThroughput$' -benchtime 2s -benchmem . | tee "$bench"
 
-# Reduce the go-test bench lines to {name, homes_per_sec} records: the
-# custom homes/s metric precedes its unit token.
+# Reduce the go-test bench lines to {name, homes_per_sec, allocs_per_op}
+# records: each custom or -benchmem metric value precedes its unit token.
 awk '
     /^BenchmarkFleetThroughput/ {
-        hs = ""
-        for (i = 1; i <= NF; i++) if ($i == "homes/s") hs = $(i-1)
-        if (hs != "") printf "{\"name\":\"%s\",\"homes_per_sec\":%s}\n", $1, hs
+        hs = ""; al = ""
+        for (i = 1; i <= NF; i++) {
+            if ($i == "homes/s") hs = $(i-1)
+            if ($i == "allocs/op") al = $(i-1)
+        }
+        if (hs != "" && al != "")
+            printf "{\"name\":\"%s\",\"homes_per_sec\":%s,\"allocs_per_op\":%s}\n", $1, hs, al
     }' "$bench" > "$tput"
+
+echo '==> go test -bench BenchmarkFleetInnerLoop -benchmem (zero-alloc gate)'
+go test -run '^$' -bench '^BenchmarkFleetInnerLoop$' -benchtime 200x -benchmem ./internal/fleet | tee "$inner"
+awk '
+    /^BenchmarkFleetInnerLoop/ {
+        hs = ""; al = ""
+        for (i = 1; i <= NF; i++) {
+            if ($i == "homes/s") hs = $(i-1)
+            if ($i == "allocs/op") al = $(i-1)
+        }
+        if (hs != "" && al != "")
+            printf "{\"homes_per_sec\":%s,\"allocs_per_op\":%s}\n", hs, al
+    }' "$inner" > "$innertp"
+inner_allocs=$(jq '.allocs_per_op' "$innertp")
+if [ "$inner_allocs" != "0" ]; then
+    echo "bench.sh: FAIL — per-home inner loop allocates ($inner_allocs allocs/op, want 0)" >&2
+    exit 1
+fi
+
+echo '==> 3golfleet -scale 56 (million-home run, 10 s wall budget)'
+# The headline scale point: ≥1M homes × 1 day through the streaming
+# merge. -scale grows homes and shards together (56 × 18000 = 1,008,000
+# homes over 448 shards), so per-shard memory stays flat and the run
+# exercises the same shard size as the DSLAM-scale report above.
+go run ./cmd/3golfleet -scale 56 -days 1 -seed 1 -workers 16 -json > "$fleet1m"
+go run ./cmd/3golfleet -validate < "$fleet1m"
+wall_1m=$(jq '.wall_seconds' "$fleet1m")
+if [ "$(awk -v w="$wall_1m" 'BEGIN { print (w > 10) ? 1 : 0 }')" = "1" ]; then
+    echo "bench.sh: FAIL — million-home run took ${wall_1m}s, budget 10s" >&2
+    exit 1
+fi
+cp "$fleet1m" bench-fleet-1m.json
+echo "bench.sh: wrote bench-fleet-1m.json (${wall_1m}s wall)"
 
 jq -n \
     --slurpfile fleet "$fleet" \
+    --slurpfile fleet1m "$fleet1m" \
     --slurpfile sim "$sim" \
     --slurpfile tput "$tput" \
+    --slurpfile inner "$innertp" \
     --slurpfile vet "$vet" \
     '{generated_by: "scripts/bench.sh",
       vet_seconds: $vet[0].elapsed_seconds,
       fleet_throughput: $tput,
+      fleet_inner_loop: $inner[0],
+      scaling_16x: (
+        ([$tput[] | select(.name | startswith("BenchmarkFleetThroughput/shards=16-"))] | first) as $wide
+        | ([$tput[] | select(.name | startswith("BenchmarkFleetThroughput/shards=1-"))] | first) as $one
+        | if $wide and $one then ($wide.homes_per_sec / $one.homes_per_sec) else null end),
       fleet_report: $fleet[0],
-      fig11a: $sim[0]}' > BENCH_fleet.json
+      fleet_report_1m: $fleet1m[0],
+      fig11a: $sim[0]}' > "$fresh"
+
+# --- perf ratchet: compare against the committed BENCH_fleet.json ---
+ratio=$(jq '.scaling_16x // empty' "$fresh")
+if [ -n "$ratio" ] && [ "$(awk -v r="$ratio" 'BEGIN { print (r < 12) ? 1 : 0 }')" = "1" ]; then
+    echo "bench.sh: FAIL — 16-shard scaling is ${ratio}x single-shard throughput, want >= 12x" >&2
+    exit 1
+fi
+if [ -f BENCH_fleet.json ]; then
+    jq -n --slurpfile old BENCH_fleet.json --slurpfile new "$fresh" '
+        [ $new[0].fleet_throughput[] as $n
+          | ($old[0].fleet_throughput // [])[]
+          | select(.name == $n.name)
+          | {name,
+             hs_regressed: (($n.homes_per_sec < .homes_per_sec * 0.5)),
+             allocs_regressed: ((.allocs_per_op != null)
+                                and ($n.allocs_per_op > .allocs_per_op * 2 + 16)),
+             old_hs: .homes_per_sec, new_hs: $n.homes_per_sec,
+             old_allocs: .allocs_per_op, new_allocs: $n.allocs_per_op}
+          | select(.hs_regressed or .allocs_regressed) ]
+        | if length > 0 then (. | tostring | halt_error(1)) else empty end' \
+    || { echo "bench.sh: FAIL — fleet throughput or allocs/op regressed vs committed BENCH_fleet.json (see record above)" >&2; exit 1; }
+fi
+mv "$fresh" BENCH_fleet.json
+fresh=$(mktemp) # the EXIT trap still removes a fresh temp
 
 echo "bench.sh: wrote BENCH_fleet.json"
 
@@ -95,6 +185,13 @@ echo '==> 3golpermitload vs sharded 3golpermitd (permit plane)'
 # running with -deny-unknown so the feed is load-bearing. The harness
 # waits for the port to come up, then drives 100k clients; the final
 # kill exercises the daemon's graceful drain.
+# Fail fast if the port is occupied: otherwise the fresh daemon dies on
+# bind, the harness silently measures whatever stale process answers,
+# and the snapshot lies.
+if ss -tln 2> /dev/null | grep -q ':7391 '; then
+    echo "bench.sh: port 7391 already in use — kill the stale listener first (ss -tlnp | grep 7391)" >&2
+    exit 1
+fi
 permit=$(mktemp)
 feed=$(mktemp)
 permitd_bin=$(mktemp)

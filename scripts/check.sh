@@ -17,13 +17,19 @@
 #      under a hostile scenario and under blackout-all; the command
 #      exits non-zero if any resilience invariant (exactly-once
 #      delivery, duplicate-waste bound, ADSL-only completion) breaks
-#   9. permit smoke — 3golpermitload -smoke drives a few thousand
+#   9. chaos at scale — the hostile scenario again at 100k homes: the
+#      invariants must hold, and the run must fit the time budget, at a
+#      population three orders of magnitude above the race-detector
+#      tests (which cap at tens of homes for wall-time reasons)
+#  10. permit smoke — 3golpermitload -smoke drives a few thousand
 #      simulated clients through an in-process sharded permit plane
 #      over real HTTP and asserts the decision invariants (no errors,
 #      every client served, mixed grant/deny split); the JSON report is
 #      left at bench-permit-smoke.json for CI artifact upload
-#  10. metrics docs — METRICS.md must match the live registry
+#  11. metrics docs — METRICS.md must match the live registry
 #      (3golobs gen-docs -check)
+#  12. package docs — every package must carry a godoc comment
+#      (go list's .Doc field is empty otherwise)
 #
 # Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
 set -eu
@@ -87,6 +93,14 @@ timeout 180 go run ./cmd/3golfleet -chaos hostile -homes 256 -seed 1 -json > /de
 timeout 180 go run ./cmd/3golfleet -chaos blackout-all -homes 128 -seed 1 -events "$events" > /dev/null
 go run ./cmd/3goltrace -check "$events"
 
+echo '==> chaos at scale (3golfleet -chaos hostile, 100k homes)'
+# The same invariants at a 100,000-home population: every transaction
+# exactly-once under the full hostile fault stack, inside a time budget
+# that a scheduling or merge regression would blow. Runs without the
+# race detector — the scale, not the interleaving, is what this stage
+# adds over the go test chaos suite.
+timeout 300 go run ./cmd/3golfleet -chaos hostile -homes 100000 -shards 32 -seed 1 -json > /dev/null
+
 echo '==> permit smoke (3golpermitload -smoke)'
 # The permit-plane load harness runs a small population against an
 # in-process sharded backend and asserts its own invariants, exiting
@@ -97,5 +111,16 @@ echo '==> metrics docs (3golobs gen-docs -check)'
 # METRICS.md is rendered from the live metric registry; adding, renaming
 # or relabelling a metric without regenerating the reference fails here.
 go run ./cmd/3golobs gen-docs -check
+
+echo '==> package docs (every package carries a godoc comment)'
+# godoc renders the first comment ahead of the package clause; a package
+# without one shows up blank on pkg.go.dev and in go doc. go list's .Doc
+# field holds that comment, so an empty field names the offender.
+undocumented=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)
+if [ -n "$undocumented" ]; then
+    echo "check.sh: packages missing a package-level doc comment:" >&2
+    echo "$undocumented" >&2
+    exit 1
+fi
 
 echo 'check.sh: all stages passed'
