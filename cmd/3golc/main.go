@@ -161,6 +161,8 @@ func runUpload(args []string) error {
 	algoName := fs.String("algo", "grd", "multipath scheduler: grd, rr or min")
 	field := fs.String("field", "file", "multipart form field name")
 	permitBackend := fs.String("permit-backend", "", "permit backend base URL; gates each device path on its announced serving cell")
+	permitFailOpen := fs.Bool("permit-fail-open", false, "honour stale permits for -permit-grace when the permit backend is unreachable (default: fail closed onto ADSL)")
+	permitGrace := fs.Duration("permit-grace", permitplane.DefaultGrace, "stale-permit grace window while fail-open and degraded")
 	fs.Parse(args)
 	if *target == "" {
 		return fmt.Errorf("upload: -target is required")
@@ -213,7 +215,9 @@ func runUpload(args []string) error {
 		if permitFetch != nil && r.Cell != "" {
 			cache := &permitplane.Cache{
 				Fetch: permitFetch, Device: r.Name, Cell: r.Cell,
-				Seed: int64(os.Getpid()),
+				Seed:     int64(os.Getpid()),
+				FailOpen: *permitFailOpen,
+				Grace:    *permitGrace,
 			}
 			p = permitplane.GatePath(p, cache.Allowed)
 			log.Printf("3golc: gating path %s on permits for cell %s", r.Name, r.Cell)

@@ -43,6 +43,8 @@ func main() {
 		quotaMB   = flag.Int64("quota-mb", 0, "daily 3GOL allowance in MB (multi-provider mode); 0 = unlimited")
 		backend   = flag.String("backend", "", "permit backend base URL (network-integrated mode)")
 		cell      = flag.String("cell", "", "serving cell id reported to the permit backend")
+		failOpen  = flag.Bool("permit-fail-open", false, "keep honouring the last permit for -permit-grace when the backend is unreachable (default: fail closed, stop onloading)")
+		grace     = flag.Duration("permit-grace", permitplane.DefaultGrace, "how long past its expiry a stale permit is honoured while fail-open and degraded")
 		iface3g   = flag.String("bind-3g", "", "local address of the cellular interface to dial from (optional)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the proxy's debug mux")
 		verbosity = flag.Bool("v", false, "verbose logging")
@@ -81,16 +83,23 @@ func main() {
 	// backends) at a TTL-jittered point before expiry, so a whole fleet
 	// granted together never stampedes the backend together. The jitter
 	// seed is per-process; the cache also mixes in the device name.
+	// When the backend becomes unreachable the cache trips a circuit
+	// breaker and goes degraded: fail-closed by default (no permit, no
+	// onloading — traffic falls back to ADSL), or with -permit-fail-open
+	// it honours the last granted permit for up to -permit-grace past
+	// its expiry while probing for the backend's return.
 	var permits *permitplane.Cache
 	if *backend != "" {
 		pm := permitplane.NewMetrics(reg)
 		permits = &permitplane.Cache{
-			Fetch:   (&permitplane.BatchClient{BackendURL: *backend, Metrics: pm}).Fetch,
-			Device:  *name,
-			Cell:    *cell,
-			Seed:    int64(os.Getpid()),
-			Metrics: pm,
-			Events:  events,
+			Fetch:    (&permitplane.BatchClient{BackendURL: *backend, Metrics: pm}).Fetch,
+			Device:   *name,
+			Cell:     *cell,
+			Seed:     int64(os.Getpid()),
+			Metrics:  pm,
+			Events:   events,
+			FailOpen: *failOpen,
+			Grace:    *grace,
 		}
 	}
 	srv.Admit = func(ctx context.Context) bool {

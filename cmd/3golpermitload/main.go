@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"threegol/internal/clock"
@@ -67,6 +68,14 @@ type options struct {
 	seed      int64
 	jsonPath  string
 	smoke     bool
+
+	// chaos mode (see chaos.go)
+	chaos      bool
+	permitd    string
+	walRoot    string
+	eventsPath string
+	killAfter  float64
+	downtime   time.Duration
 }
 
 // result is the harness's JSON report — the shape scripts/bench.sh
@@ -89,6 +98,9 @@ type result struct {
 	LatencyP50Ms    float64 `json:"latency_p50_ms"`
 	LatencyP99Ms    float64 `json:"latency_p99_ms"`
 	LatencyMeanMs   float64 `json:"latency_mean_ms"`
+
+	// Chaos carries the kill/recovery measurements of a -chaos run.
+	Chaos *chaosResult `json:"chaos,omitempty"`
 }
 
 func main() {
@@ -106,6 +118,12 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "jitter seed")
 	flag.StringVar(&o.jsonPath, "json", "", "write the result report to this file")
 	flag.BoolVar(&o.smoke, "smoke", false, "small fast run asserting invariants (overrides -clients/-duration)")
+	flag.BoolVar(&o.chaos, "chaos", false, "spawn a real 3golpermitd, SIGKILL it mid-load, verify WAL recovery (requires -permitd)")
+	flag.StringVar(&o.permitd, "permitd", "", "path to the 3golpermitd binary a -chaos run spawns")
+	flag.StringVar(&o.walRoot, "wal", "", "WAL root for the -chaos daemon (empty = a temp dir, removed afterwards)")
+	flag.StringVar(&o.eventsPath, "events", "", "write chaos lifecycle events to this file as JSONL")
+	flag.Float64Var(&o.killAfter, "kill-after", 0.4, "fraction of the run's wall time after which -chaos kills the daemon")
+	flag.DurationVar(&o.downtime, "downtime", 750*time.Millisecond, "minimum time -chaos holds the daemon down before restarting it")
 	flag.Parse()
 
 	if o.smoke {
@@ -113,12 +131,24 @@ func main() {
 		o.cells = 64
 		o.duration = 240
 		o.timescale = 120
+		if o.chaos {
+			// A chaos cycle needs enough wall time for the kill, the
+			// independent replay and a recovered-phase tail: 10 s.
+			o.duration = 600
+			o.timescale = 60
+		}
 	}
 	if o.clients <= 0 || o.batch <= 0 || o.workers <= 0 || o.timescale <= 0 || o.duration <= 0 {
 		log.Fatal("3golpermitload: -clients, -batch, -workers, -timescale and -duration must be positive")
 	}
 
-	res, err := run(o)
+	var res *result
+	var err error
+	if o.chaos {
+		res, err = runChaos(o)
+	} else {
+		res, err = run(o)
+	}
 	if err != nil {
 		log.Fatalf("3golpermitload: %v", err)
 	}
@@ -136,7 +166,11 @@ func main() {
 		}
 	}
 	if o.smoke {
-		if err := checkSmoke(res); err != nil {
+		check := checkSmoke
+		if o.chaos {
+			check = checkChaosSmoke
+		}
+		if err := check(res); err != nil {
 			log.Fatalf("3golpermitload: smoke failed: %v", err)
 		}
 		log.Print("3golpermitload: smoke ok")
@@ -278,10 +312,14 @@ type done struct {
 }
 
 // workerStats is one worker's private tallies, merged in worker order
-// at the end of the run.
+// at the end of the run. The phase-split counters attribute each
+// outcome to the chaos phase in effect when its RPC completed (all
+// phaseBeforeKill outside -chaos).
 type workerStats struct {
 	grants, denials, errors int64
 	batches                 int64
+	phaseErrors             [phaseCount]int64
+	phaseDecisions          [phaseCount]int64
 	latency                 *stats.Sketch
 }
 
@@ -297,6 +335,9 @@ type fleet struct {
 	clk     clock.Clock
 	start   time.Time
 	wall    time.Duration
+	// phase is the chaos phase (phaseBeforeKill/Outage/Recovered) the
+	// orchestrator advances; workers read it to phase-split outcomes.
+	phase atomic.Int32
 }
 
 func newFleet(o options, backendURL string, transport *http.Transport) *fleet {
@@ -434,6 +475,10 @@ func (f *fleet) worker(wg *sync.WaitGroup, ws *workerStats) {
 		decisions, err := f.bc.Batch(context.Background(), j.reqs)
 		ws.latency.Add(f.clk.Since(t0).Seconds())
 		ws.batches++
+		// Attribute at completion time: an RPC in flight when the chaos
+		// kill lands fails after the phase flip, so its error counts
+		// against the outage, not the healthy window.
+		phase := f.phase.Load()
 		d := done{outcomes: make([]outcome, len(j.indices))}
 		for k, i := range j.indices {
 			out := outcome{index: i}
@@ -441,11 +486,14 @@ func (f *fleet) worker(wg *sync.WaitGroup, ws *workerStats) {
 			case err != nil:
 				out.err = true
 				ws.errors++
+				ws.phaseErrors[phase]++
 			case decisions[k].Granted:
 				out.granted = true
 				ws.grants++
+				ws.phaseDecisions[phase]++
 			default:
 				ws.denials++
+				ws.phaseDecisions[phase]++
 			}
 			d.outcomes[k] = out
 		}

@@ -1,0 +1,216 @@
+package integration
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"threegol/internal/permitplane/wal"
+)
+
+// shardStatus mirrors the fields of permitplane.ShardStatus this test
+// asserts on.
+type shardStatus struct {
+	Shard       int    `json:"shard"`
+	Outstanding int    `json:"outstanding"`
+	WALSeq      uint64 `json:"wal_seq"`
+	StateHash   string `json:"state_hash"`
+	Recovery    *struct {
+		RecoveredGrants   int     `json:"recovered_grants"`
+		ExpiredOnRecovery int     `json:"expired_on_recovery"`
+		StateHash         string  `json:"state_hash"`
+		Seconds           float64 `json:"seconds"`
+	} `json:"recovery"`
+}
+
+func readShards(t *testing.T, addr string) []shardStatus {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/debug/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []shardStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCLIPermitDaemonCrashRecovery is the end-to-end durability pin:
+// grants issued by a -wal daemon must survive a kill -9 byte-identically
+// (same per-shard state hashes) and keep serving after restart.
+func TestCLIPermitDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildBinaries(t, "3golpermitd")
+	walDir := t.TempDir()
+
+	start := func(addr string) *exec.Cmd {
+		cmd := exec.Command(bins["3golpermitd"],
+			"-listen", addr, "-shards", "4", "-ttl", "10m", "-wal", walDir)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitForHTTP(t, "http://"+addr)
+		return cmd
+	}
+
+	addr := freePort(t, "tcp")
+	cmd := start(addr)
+	killed := false
+	t.Cleanup(func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// Issue grants across many devices and cells, then snapshot the
+	// per-shard state the daemon reports.
+	for _, q := range []string{
+		"device=d1&cell=cellA", "device=d2&cell=cellB", "device=d3&cell=cellC",
+		"device=d4&cell=cellD", "device=d1&cell=cellE", "device=d5&cell=cellA",
+	} {
+		resp, err := http.Get("http://" + addr + "/permit?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	before := readShards(t, addr)
+	var outstanding int
+	hashes := map[int]string{}
+	for _, st := range before {
+		outstanding += st.Outstanding
+		hashes[st.Shard] = st.StateHash
+	}
+	if outstanding != 6 {
+		t.Fatalf("%d outstanding grants before kill, want 6", outstanding)
+	}
+
+	// kill -9: no drain, no final snapshot — recovery must come from
+	// the WAL alone.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	addr2 := freePort(t, "tcp")
+	cmd2 := start(addr2)
+	t.Cleanup(func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	})
+
+	after := readShards(t, addr2)
+	var recovered int
+	for _, st := range after {
+		if st.Recovery == nil {
+			t.Fatalf("shard %d reports no recovery stats on a -wal daemon", st.Shard)
+		}
+		recovered += st.Recovery.RecoveredGrants
+		if st.Recovery.ExpiredOnRecovery != 0 {
+			t.Errorf("shard %d expired %d grants during a sub-TTL outage", st.Shard, st.Recovery.ExpiredOnRecovery)
+		}
+		if got := hashes[st.Shard]; got != st.StateHash {
+			t.Errorf("shard %d state hash changed across kill -9:\npre:  %s\npost: %s", st.Shard, got, st.StateHash)
+		}
+	}
+	if recovered != 6 {
+		t.Errorf("recovered %d grants, want 6", recovered)
+	}
+
+	// The restarted daemon keeps serving; a repeat decision refreshes
+	// the recovered grant rather than double-counting it.
+	resp, err := http.Get("http://" + addr2 + "/permit?device=d1&cell=cellA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final := readShards(t, addr2)
+	total := 0
+	for _, st := range final {
+		total += st.Outstanding
+	}
+	if total != 6 {
+		t.Errorf("%d outstanding after refresh of a recovered grant, want 6 (no double count)", total)
+	}
+}
+
+// TestCLIPermitDaemonDrainTimeoutStillSnapshots pins the drain-timeout
+// fix: a graceful shutdown whose drain window is consumed by a hung
+// request must still flush the final snapshot before exiting.
+func TestCLIPermitDaemonDrainTimeoutStillSnapshots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	bins := buildBinaries(t, "3golpermitd")
+	walDir := t.TempDir()
+	addr := freePort(t, "tcp")
+
+	cmd := exec.Command(bins["3golpermitd"],
+		"-listen", addr, "-ttl", "10m", "-wal", walDir, "-drain", "100ms")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	waitForHTTP(t, "http://"+addr)
+
+	resp, err := http.Get("http://" + addr + "/permit?device=d1&cell=cellA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Hold a connection open so Shutdown cannot complete the drain:
+	// an idle pre-opened conn is released, so park a request instead
+	// on an endpoint that will block — use a raw half-written request.
+	conn, err := (&net.Dialer{}).Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /permit?device=dX&cell=c HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Header never finishes: the connection is mid-request when the
+	// daemon shuts down, forcing the drain to time out.
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// The final snapshot must exist and carry the grant.
+	snap := filepath.Join(walDir, "shard-0", "snapshot.snap")
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no final snapshot after drain-timeout shutdown: %v", err)
+	}
+	st, _, err := wal.Replay(filepath.Join(walDir, "shard-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Grants) != 1 {
+		t.Errorf("snapshot carries %d grants, want 1", len(st.Grants))
+	}
+}

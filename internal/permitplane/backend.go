@@ -63,14 +63,25 @@ type Config struct {
 	// shard registry — span durations are wall-clock and would break
 	// the byte-identical merge guarantee if they lived shard-side.
 	Tracer *obs.Tracer
+	// WALDir, used by NewDurable, is the root directory for per-shard
+	// write-ahead logs (ShardWALDir names each shard's subdirectory).
+	// New ignores it: memory-only planes track grants but persist
+	// nothing.
+	WALDir string
+	// SnapshotEvery is how many WAL records a shard accumulates before
+	// compacting into a snapshot; <= 0 selects DefaultSnapshotEvery.
+	SnapshotEvery int
 }
 
 // shard is one slice of the cell ID space: its own permit.Backend with
-// lock-free counters, its own obs registry.
+// lock-free counters, its own obs registry, and its own grant store (so
+// durability, like decision-making, shards without cross-shard locks).
 type shard struct {
-	index   int
-	reg     *obs.Registry
-	backend *permit.Backend
+	index    int
+	reg      *obs.Registry
+	backend  *permit.Backend
+	pmetrics *Metrics
+	store    *GrantStore
 }
 
 // Sharded is the cell-sharded permit plane: N shards behind a router.
@@ -99,9 +110,12 @@ func New(cfg Config) *Sharded {
 	s.metrics = NewMetrics(s.router)
 	for i := 0; i < cfg.Shards; i++ {
 		reg := obs.NewRegistry()
+		pm := NewMetrics(reg)
 		s.shards = append(s.shards, &shard{
-			index: i,
-			reg:   reg,
+			index:    i,
+			reg:      reg,
+			pmetrics: pm,
+			store:    NewGrantStore(cfg.Clock, pm),
 			backend: &permit.Backend{
 				Utilization: cfg.Utilization,
 				Threshold:   cfg.Threshold,
@@ -118,8 +132,34 @@ func New(cfg Config) *Sharded {
 	return s
 }
 
+// NewDurable builds a sharded plane whose grant state survives the
+// process: each shard recovers from (and appends to) its own WAL under
+// cfg.WALDir. A shard that fails to recover fails the whole plane —
+// better to crash loudly at boot than to serve with silently forgotten
+// grants.
+//
+//3golvet:allow ctxprop — boot-time recovery: runs before any request exists to carry a context
+func NewDurable(cfg Config) (*Sharded, error) {
+	if cfg.WALDir == "" {
+		return nil, fmt.Errorf("permitplane: NewDurable requires Config.WALDir")
+	}
+	s := New(cfg)
+	for i, sh := range s.shards {
+		st, err := OpenGrantStore(ShardWALDir(cfg.WALDir, i), cfg.Clock, sh.pmetrics, cfg.SnapshotEvery)
+		if err != nil {
+			_ = s.Close() // shards opened so far flush and release their logs
+			return nil, fmt.Errorf("permitplane: recovering shard %d: %w", i, err)
+		}
+		sh.store = st
+	}
+	return s, nil
+}
+
 // Shards reports the configured shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Durable reports whether the plane persists grants to a WAL.
+func (s *Sharded) Durable() bool { return s.shards[0].store.Durable() }
 
 // shardFor routes a cell to its owning shard.
 func (s *Sharded) shardFor(cellID string) *shard {
@@ -132,9 +172,20 @@ func (s *Sharded) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/permit":
 		s.metrics.routed()
-		// The shard's own Backend validates parameters and writes the
-		// reply; an empty cell routes to shard 0, which rejects it.
-		s.shardFor(r.URL.Query().Get("cell")).backend.ServeHTTP(w, r)
+		cell := r.URL.Query().Get("cell")
+		sh := s.shardFor(cell) // an empty cell routes to shard 0
+		if cell == "" || s.cfg.Utilization == nil {
+			// The shard's own Backend writes the canonical error reply.
+			sh.backend.ServeHTTP(w, r)
+			return
+		}
+		ctx := r.Context()
+		if tc, ok := eventlog.ExtractHTTP(r.Header); ok {
+			ctx = eventlog.NewContext(ctx, tc)
+		}
+		resp := s.decideOn(sh, ctx, r.URL.Query().Get("device"), cell)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp) // client disconnect; nothing to do
 	case "/permits/batch":
 		s.serveBatch(w, r)
 	default:
@@ -198,7 +249,7 @@ func (s *Sharded) serveBatch(w http.ResponseWriter, r *http.Request) {
 		go func(sh *shard, indices []int) {
 			defer wg.Done()
 			for _, i := range indices {
-				decisions[i] = sh.backend.Decide(ctx, req.Requests[i].Cell)
+				decisions[i] = s.decideOn(sh, ctx, req.Requests[i].Device, req.Requests[i].Cell)
 			}
 		}(s.shards[si], indices)
 	}
@@ -222,19 +273,47 @@ func (s *Sharded) Stats() (grants, denials int64) {
 	return grants, denials
 }
 
-// ShardStatus is one shard's /debug/shards entry.
+// ShardStatus is one shard's /debug/shards entry. The WAL fields are
+// zero-valued on memory-only planes; Recovery appears only on durable
+// shards (nil otherwise, omitted from the JSON).
 type ShardStatus struct {
 	Shard   int   `json:"shard"`
 	Grants  int64 `json:"grants"`
 	Denials int64 `json:"denials"`
+	// Outstanding is the live (unexpired) grant count.
+	Outstanding int `json:"outstanding"`
+	// WALSeq is the last applied WAL sequence number.
+	WALSeq uint64 `json:"wal_seq"`
+	// StateHash is the SHA-256 of the canonical grant-state marshal —
+	// what the chaos harness compares against its independent replay.
+	StateHash string `json:"state_hash,omitempty"`
+	// WALErrors counts failed WAL writes (durability degraded).
+	WALErrors int64 `json:"wal_errors,omitempty"`
+	// Recovery reports the boot-time replay, when the shard is durable.
+	Recovery *Recovery `json:"recovery,omitempty"`
 }
 
-// Status reports per-shard decision counts in shard order.
+// Status reports per-shard decision counts and grant-store state in
+// shard order.
+//
+//3golvet:allow ctxprop — the only I/O is lazy expiry's WAL appends inside the store accessors, which must not be skippable by cancellation
 func (s *Sharded) Status() []ShardStatus {
 	out := make([]ShardStatus, len(s.shards))
 	for i, sh := range s.shards {
 		g, d := sh.backend.Stats()
-		out[i] = ShardStatus{Shard: i, Grants: g, Denials: d}
+		out[i] = ShardStatus{
+			Shard:       i,
+			Grants:      g,
+			Denials:     d,
+			Outstanding: sh.store.Outstanding(),
+			WALSeq:      sh.store.Seq(),
+			StateHash:   sh.store.StateHash(),
+			WALErrors:   sh.store.WALErrors(),
+		}
+		if sh.store.Durable() {
+			rec := sh.store.Recovery()
+			out[i].Recovery = &rec
+		}
 	}
 	return out
 }
@@ -287,7 +366,47 @@ func (s *Sharded) MetricsHandler() http.Handler {
 
 // Decide routes one in-process decision to its owning shard — the
 // entry point for embedded planes (tests, the load harness's in-process
-// backend, the fleet engine).
+// backend, the fleet engine). With no device identity the decision is
+// not tracked in the grant store.
 func (s *Sharded) Decide(ctx context.Context, cell string) permit.Response {
-	return s.shardFor(cell).backend.Decide(ctx, cell)
+	return s.decideOn(s.shardFor(cell), ctx, "", cell)
+}
+
+// DecideDevice is Decide with a device identity, so embedded durable
+// planes track the grant.
+func (s *Sharded) DecideDevice(ctx context.Context, device, cell string) permit.Response {
+	return s.decideOn(s.shardFor(cell), ctx, device, cell)
+}
+
+// decideOn makes the decision on sh's backend and folds it into sh's
+// grant store — the single choke point every transport (GET, batch,
+// in-process) goes through, so the WAL sees every decision exactly
+// once.
+func (s *Sharded) decideOn(sh *shard, ctx context.Context, device, cell string) permit.Response {
+	resp := sh.backend.Decide(ctx, cell)
+	sh.store.RecordDecision(device, cell, resp.Granted, resp.TTLSeconds)
+	return resp
+}
+
+// SnapshotAll flushes every shard's grant state to disk — the graceful
+// drain hook. Memory-only planes no-op.
+//
+//3golvet:allow ctxprop — shutdown-path flush: runs after request serving stopped, must not be cancellable
+func (s *Sharded) SnapshotAll() {
+	for _, sh := range s.shards {
+		sh.store.Snapshot()
+	}
+}
+
+// Close flushes a final snapshot on every shard and closes the WALs.
+//
+//3golvet:allow ctxprop — shutdown-path flush: runs after request serving stopped, must not be cancellable
+func (s *Sharded) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.store.Close(); err != nil && first == nil {
+			first = fmt.Errorf("permitplane: closing shard %d: %w", sh.index, err)
+		}
+	}
+	return first
 }

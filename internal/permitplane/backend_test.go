@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"threegol/internal/obs"
 	"threegol/internal/permit"
@@ -254,6 +256,81 @@ func TestBatchClientFallsBackToLegacyBackend(t *testing.T) {
 	g, d := legacy.Stats()
 	if g != 4 || d != 2 {
 		t.Errorf("legacy backend saw grants=%d denials=%d, want 4/2", g, d)
+	}
+}
+
+// TestBatchClientReprobesBatchEndpointAfterRestart pins the un-latch
+// path: a client latched onto the legacy single-GET fallback must
+// periodically re-probe /permits/batch and return to the batch RPC when
+// a restarted (batch-capable) daemon comes back — not stay on the slow
+// path forever.
+func TestBatchClientReprobesBatchEndpointAfterRestart(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000, 0)}
+	legacy := &permit.Backend{Utilization: testUtil, Clock: clk}
+	plane := New(Config{Shards: 2, Utilization: testUtil, Clock: clk})
+	var upgraded atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if upgraded.Load() {
+			plane.ServeHTTP(w, r)
+			return
+		}
+		legacy.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	m := NewMetrics(obs.NewRegistry())
+	c := &BatchClient{BackendURL: srv.URL, Metrics: m, Clock: clk, ReprobeInterval: time.Minute}
+	reqs := []PermitRequest{{Device: "d0", Cell: "cell-0"}}
+	reprobes := func() int64 { return m.BatchReprobes.With().Value() }
+
+	if _, err := c.Batch(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if !c.legacy.Load() {
+		t.Fatal("legacy fallback not latched")
+	}
+
+	// Inside the re-probe interval the latch holds without probing.
+	clk.advance(20 * time.Second)
+	if _, err := c.Batch(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if got := reprobes(); got != 0 {
+		t.Fatalf("%v re-probes inside the interval, want 0", got)
+	}
+
+	// A due re-probe against a still-legacy backend stays latched (and
+	// still answers via singles).
+	clk.advance(2 * time.Minute) // past any jittered spacing (max 1.5×)
+	out, err := c.Batch(context.Background(), reqs)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("probe round against legacy backend: out=%v err=%v", out, err)
+	}
+	if !c.legacy.Load() {
+		t.Error("failed re-probe unlatched the fallback")
+	}
+	if got := reprobes(); got != 1 {
+		t.Fatalf("%v re-probes after one due window, want 1", got)
+	}
+
+	// The daemon restarts batch-capable: the next due re-probe unlatches.
+	upgraded.Store(true)
+	clk.advance(2 * time.Minute)
+	if _, err := c.Batch(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if c.legacy.Load() {
+		t.Error("re-probe did not unlatch after the backend upgraded")
+	}
+	if got := reprobes(); got != 2 {
+		t.Errorf("%v re-probes total, want 2", got)
+	}
+	// And later batches ride the batch RPC without further probes.
+	if _, err := c.Batch(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if got := reprobes(); got != 2 {
+		t.Errorf("unlatched client kept probing (%v)", got)
 	}
 }
 

@@ -9,15 +9,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"threegol/internal/clock"
 	"threegol/internal/obs/eventlog"
 	"threegol/internal/permit"
 )
 
+// DefaultReprobeInterval is how often a legacy-latched BatchClient
+// re-probes /permits/batch (jittered per client, so a fleet latched by
+// the same restart does not re-probe in the same instant).
+const DefaultReprobeInterval = time.Minute
+
 // BatchClient issues grant/refresh requests against a permit backend,
 // preferring the batch RPC and degrading transparently to per-permit
-// GETs when the backend predates /permits/batch (the fallback sticks
-// for the client's lifetime once detected, so every later batch costs
-// exactly len(reqs) GETs instead of one failed POST plus the GETs).
+// GETs when the backend predates /permits/batch. The fallback is
+// sticky only between re-probes: a jittered periodic re-probe of the
+// batch endpoint unlatches the client when the backend comes back
+// batch-capable (a restart onto a newer daemon must not leave the
+// fleet on the slow single-GET path forever).
 type BatchClient struct {
 	// BackendURL is the backend's base URL (scheme://host:port).
 	BackendURL string
@@ -29,8 +37,20 @@ type BatchClient struct {
 	RequestTimeout time.Duration
 	// Metrics, when non-nil, receives fallback instrumentation.
 	Metrics *Metrics
+	// ReprobeInterval is the nominal spacing between re-probes of
+	// /permits/batch while latched onto the legacy fallback; each
+	// actual spacing is jittered into [0.5, 1.5)× of it. 0 selects
+	// DefaultReprobeInterval; negative disables re-probing (the
+	// historical latch-forever behaviour).
+	ReprobeInterval time.Duration
+	// Seed salts the re-probe jitter stream (mixed with BackendURL).
+	Seed int64
+	// Clock times re-probes; nil selects the system clock.
+	Clock clock.Clock
 
-	legacy atomic.Bool // backend has no /permits/batch
+	legacy    atomic.Bool  // backend has no /permits/batch
+	nextProbe atomic.Int64 // unixnano of the next re-probe while legacy
+	draws     atomic.Uint64
 }
 
 func (c *BatchClient) httpClient() *http.Client {
@@ -47,6 +67,45 @@ func (c *BatchClient) requestTimeout() time.Duration {
 	return 5 * time.Second
 }
 
+func (c *BatchClient) reprobeInterval() time.Duration {
+	if c.ReprobeInterval == 0 {
+		return DefaultReprobeInterval
+	}
+	if c.ReprobeInterval < 0 {
+		return 0 // re-probing disabled
+	}
+	return c.ReprobeInterval
+}
+
+// scheduleReprobe arms the next jittered re-probe from now.
+func (c *BatchClient) scheduleReprobe() {
+	iv := c.reprobeInterval()
+	if iv <= 0 {
+		return
+	}
+	frac := 0.5 + JitterFrac(c.Seed, c.BackendURL, c.draws.Add(1))
+	next := clock.Or(c.Clock).Now().Add(time.Duration(frac * float64(iv)))
+	c.nextProbe.Store(next.UnixNano())
+}
+
+// claimReprobe reports whether this call should re-probe the batch
+// endpoint, claiming the due probe with a CAS so concurrent batches
+// issue exactly one.
+func (c *BatchClient) claimReprobe() bool {
+	if c.reprobeInterval() <= 0 {
+		return false
+	}
+	next := c.nextProbe.Load()
+	if next == 0 || clock.Or(c.Clock).Now().UnixNano() < next {
+		return false
+	}
+	if !c.nextProbe.CompareAndSwap(next, 0) {
+		return false // another caller claimed this probe
+	}
+	c.scheduleReprobe() // re-arm in case the probe fails
+	return true
+}
+
 // Batch requests a decision for every entry of reqs, returning the
 // decisions in request order. A transport failure or non-OK status
 // fails the whole batch — callers treat that like any single-permit
@@ -55,8 +114,13 @@ func (c *BatchClient) Batch(ctx context.Context, reqs []PermitRequest) ([]permit
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	probing := false
 	if c.legacy.Load() {
-		return c.singles(ctx, reqs)
+		if !c.claimReprobe() {
+			return c.singles(ctx, reqs)
+		}
+		probing = true
+		c.Metrics.batchReprobed()
 	}
 	rctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
 	defer cancel()
@@ -75,15 +139,27 @@ func (c *BatchClient) Batch(ctx context.Context, reqs []PermitRequest) ([]permit
 	}
 	httpResp, err := c.httpClient().Do(req)
 	if err != nil {
+		if probing {
+			// A dead backend proves nothing about batch support; the
+			// singles would fail identically, so surface the error.
+			return nil, fmt.Errorf("permitplane: batch re-probe of %s: %w", url, err)
+		}
 		return nil, fmt.Errorf("permitplane: batch request to %s: %w", url, err)
 	}
 	defer httpResp.Body.Close()
 	switch {
 	case httpResp.StatusCode == http.StatusOK:
+		if probing {
+			c.legacy.Store(false) // batch endpoint is back
+		}
 	case httpResp.StatusCode == http.StatusNotFound || httpResp.StatusCode == http.StatusMethodNotAllowed:
-		// Pre-batch backend: remember and degrade to per-permit GETs.
+		// Pre-batch backend: remember, arm the jittered re-probe, and
+		// degrade to per-permit GETs.
 		c.legacy.Store(true)
-		c.Metrics.batchFellBack()
+		if !probing {
+			c.Metrics.batchFellBack()
+			c.scheduleReprobe()
+		}
 		return c.singles(ctx, reqs)
 	default:
 		return nil, fmt.Errorf("permitplane: batch backend returned %s", httpResp.Status)

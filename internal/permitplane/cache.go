@@ -29,6 +29,19 @@ const (
 	errorCooldown = 2 * time.Second
 )
 
+// Degraded-mode defaults: the breaker opens after
+// DefaultBreakerThreshold consecutive refresh failures, holds for
+// DefaultBreakerCooldown before the first half-open probe (doubling per
+// failed probe up to DefaultBreakerMaxCooldown), and a fail-open cache
+// honours the last granted permit for at most DefaultGrace past its
+// genuine expiry.
+const (
+	DefaultBreakerThreshold   = 3
+	DefaultBreakerCooldown    = 2 * time.Second
+	DefaultBreakerMaxCooldown = 30 * time.Second
+	DefaultGrace              = 30 * time.Second
+)
+
 // Cache is the device-side permit cache of the production plane. It
 // improves on permit.Client in three ways that matter at fleet scale:
 //
@@ -44,6 +57,16 @@ const (
 //     still-valid cached verdict keeps serving, so the refresh never
 //     stalls the request path; and a failed proactive refresh keeps
 //     the permit until its granted TTL genuinely lapses.
+//
+// When the backend becomes unreachable the cache enters an explicit
+// degraded state behind a per-endpoint circuit breaker: after
+// BreakerThreshold consecutive refresh failures it stops issuing
+// backend round trips and serves a local degraded verdict — fail-open
+// (honour the last granted permit for up to Grace past its genuine
+// expiry) or fail-closed (no permit, no onloading; the scheduler's
+// gated path then fails with ErrNotPermitted and the transfer falls
+// back to ADSL, exactly the blackout behaviour). Jittered half-open
+// probes re-close the breaker the moment the backend answers again.
 type Cache struct {
 	// Fetch performs one backend refresh (BatchClient.Fetch, or a test
 	// double). Required.
@@ -66,6 +89,24 @@ type Cache struct {
 	// TraceContext riding the caller's context.
 	Events *eventlog.Log
 
+	// FailOpen selects the degraded-mode policy: true keeps honouring
+	// the last granted permit for up to Grace past its genuine expiry
+	// while the backend is unreachable; false (the default) fails
+	// closed — no reachable backend, no onloading.
+	FailOpen bool
+	// Grace bounds the fail-open stale-permit window, measured from the
+	// granted permit's genuine expiry; 0 selects DefaultGrace.
+	Grace time.Duration
+	// BreakerThreshold is the consecutive refresh-failure count that
+	// opens the breaker; 0 selects DefaultBreakerThreshold, negative
+	// disables degraded mode entirely.
+	BreakerThreshold int
+	// BreakerCooldown is the hold before the first half-open probe,
+	// doubling per failed probe up to BreakerMaxCooldown; zeros select
+	// DefaultBreakerCooldown and DefaultBreakerMaxCooldown.
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+
 	mu        sync.Mutex
 	haveState bool
 	granted   bool
@@ -73,6 +114,12 @@ type Cache struct {
 	refreshAt time.Time
 	flight    chan struct{} // non-nil while a refresh is in flight
 	draws     uint64        // jitter draws so far (the stream position)
+
+	degraded    bool
+	consecFails int
+	probeAt     time.Time     // degraded: when the next half-open probe unlocks
+	cooldown    time.Duration // hold applied at the next failed probe
+	grantExpiry time.Time     // genuine expiry of the last granted permit
 }
 
 func (c *Cache) window() (lo, hi float64) {
@@ -89,6 +136,59 @@ func (c *Cache) window() (lo, hi float64) {
 	return lo, hi
 }
 
+func (c *Cache) breakerThreshold() int {
+	if c.BreakerThreshold == 0 {
+		return DefaultBreakerThreshold
+	}
+	if c.BreakerThreshold < 0 {
+		return 0 // degraded mode disabled
+	}
+	return c.BreakerThreshold
+}
+
+func (c *Cache) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+func (c *Cache) breakerMaxCooldown() time.Duration {
+	if c.BreakerMaxCooldown > 0 {
+		return c.BreakerMaxCooldown
+	}
+	return DefaultBreakerMaxCooldown
+}
+
+func (c *Cache) grace() time.Duration {
+	if c.Grace > 0 {
+		return c.Grace
+	}
+	return DefaultGrace
+}
+
+// Mode reports "normal" or "degraded" — the explicit state the load
+// harness and operators observe.
+func (c *Cache) Mode() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.degraded {
+		return "degraded"
+	}
+	return "normal"
+}
+
+// degradedVerdictLocked is the no-round-trip verdict served while the
+// breaker is open: fail-open honours the last granted permit inside its
+// grace window (measured from the permit's genuine expiry); everything
+// else fails closed. staleGrant reports which branch served.
+func (c *Cache) degradedVerdictLocked(now time.Time) (allowed, staleGrant bool) {
+	if c.FailOpen && !c.grantExpiry.IsZero() && now.Before(c.grantExpiry.Add(c.grace())) {
+		return true, true
+	}
+	return false, false
+}
+
 // Allowed reports whether the device currently holds a valid permit,
 // refreshing from the backend as needed. It is safe for concurrent use
 // and matches the proxy.Server Admit hook shape. The context rides into
@@ -103,6 +203,20 @@ func (c *Cache) Allowed(ctx context.Context) bool {
 			v := c.granted
 			c.mu.Unlock()
 			c.Metrics.cacheHit()
+			return v
+		}
+		if c.degraded && (now.Before(c.probeAt) || c.flight != nil) {
+			// Breaker open: no backend round trip. A still-valid permit
+			// keeps serving; otherwise the local degraded verdict does.
+			if fresh {
+				v := c.granted
+				c.mu.Unlock()
+				c.Metrics.cacheHit()
+				return v
+			}
+			v, stale := c.degradedVerdictLocked(now)
+			c.mu.Unlock()
+			c.Metrics.cacheDegradedServed(stale)
 			return v
 		}
 		if c.flight != nil {
@@ -127,20 +241,25 @@ func (c *Cache) Allowed(ctx context.Context) bool {
 		}
 		flight := make(chan struct{})
 		c.flight = flight
+		probing := c.degraded // breaker cooldown elapsed: this call is the half-open probe
 		c.mu.Unlock()
-		return c.refresh(ctx, flight, fresh)
+		return c.refresh(ctx, flight, fresh, probing)
 	}
 }
 
 // refresh performs the backend round trip this caller won the right to
 // make, installs the result, and releases any coalesced waiters.
 // proactive records that the cached permit was still valid when the
-// refresh was issued.
-func (c *Cache) refresh(ctx context.Context, flight chan struct{}, proactive bool) bool {
+// refresh was issued; probing records that this round trip is a
+// degraded cache's half-open breaker probe.
+func (c *Cache) refresh(ctx context.Context, flight chan struct{}, proactive, probing bool) bool {
 	resp, err := c.Fetch(ctx, c.Device, c.Cell)
 	now := clock.Or(c.Clock).Now()
 	granted := err == nil && resp.Granted
 	c.Metrics.cacheRefreshed(granted, err, proactive)
+	if probing {
+		c.Metrics.cacheProbed(err == nil)
+	}
 	tc, _ := eventlog.FromContext(ctx)
 	c.Events.Point(tc, "permitplane.cache_refresh",
 		"cell", c.Cell, "granted", fmt.Sprintf("%t", granted),
@@ -151,6 +270,12 @@ func (c *Cache) refresh(ctx context.Context, flight chan struct{}, proactive boo
 	defer c.mu.Unlock()
 	defer close(flight)
 	c.flight = nil
+	entered := c.noteBreakerLocked(err, probing, now)
+	if entered {
+		c.Metrics.cacheDegradedEnter()
+		c.Events.Point(tc, "permitplane.cache_degraded",
+			"cell", c.Cell, "fail_open", fmt.Sprintf("%t", c.FailOpen))
+	}
 	switch {
 	case err != nil && c.haveState && now.Before(c.expires):
 		// A failed proactive refresh must not revoke a permit the
@@ -158,6 +283,13 @@ func (c *Cache) refresh(ctx context.Context, flight chan struct{}, proactive boo
 		// and keep serving the cached verdict until real expiry.
 		c.refreshAt = now.Add(errorCooldown)
 		return c.granted
+	case err != nil && c.degraded:
+		// The degraded verdict is recomputed per call, never cached:
+		// the fail-open grace boundary stays exact (honoured one second
+		// before it, rejected one second after).
+		v, stale := c.degradedVerdictLocked(now)
+		c.Metrics.cacheDegradedServed(stale)
+		return v
 	case err != nil:
 		c.haveState = true
 		c.granted = false
@@ -174,11 +306,44 @@ func (c *Cache) refresh(ctx context.Context, flight chan struct{}, proactive boo
 		return c.granted
 	}
 	c.expires = now.Add(ttl)
+	c.grantExpiry = c.expires
 	lo, hi := c.window()
 	frac := lo + (hi-lo)*JitterFrac(c.Seed, c.Device, c.draws)
 	c.draws++
 	c.refreshAt = now.Add(time.Duration(frac * float64(ttl)))
 	return c.granted
+}
+
+// noteBreakerLocked advances the circuit breaker on one refresh result
+// and reports whether the cache just entered degraded mode. A success
+// re-closes the breaker; a failed probe re-opens with a doubled
+// cooldown; reaching the threshold of consecutive failures while
+// closed opens it.
+func (c *Cache) noteBreakerLocked(err error, probing bool, now time.Time) (entered bool) {
+	if err == nil {
+		c.degraded = false
+		c.consecFails = 0
+		c.cooldown = 0
+		return false
+	}
+	th := c.breakerThreshold()
+	switch {
+	case probing:
+		c.cooldown *= 2
+		if m := c.breakerMaxCooldown(); c.cooldown > m {
+			c.cooldown = m
+		}
+		c.probeAt = now.Add(c.cooldown)
+	case !c.degraded && th > 0:
+		c.consecFails++
+		if c.consecFails >= th {
+			c.degraded = true
+			c.cooldown = c.breakerCooldown()
+			c.probeAt = now.Add(c.cooldown)
+			return true
+		}
+	}
+	return false
 }
 
 // Invalidate drops the cached permit, forcing a refresh on next use.

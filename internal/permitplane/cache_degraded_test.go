@@ -1,0 +1,178 @@
+package permitplane
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threegol/internal/permit"
+	"threegol/internal/scheduler"
+)
+
+// flakyBackend is a Fetch double with a reachability switch.
+type flakyBackend struct {
+	calls   atomic.Int64
+	healthy atomic.Bool
+	ttl     time.Duration
+}
+
+func (b *flakyBackend) fetch(ctx context.Context, device, cell string) (permit.Response, error) {
+	b.calls.Add(1)
+	if !b.healthy.Load() {
+		return permit.Response{}, errors.New("connection refused")
+	}
+	return permit.Response{Granted: true, TTLSeconds: b.ttl.Seconds()}, nil
+}
+
+// tripBreaker drives consecutive refresh failures until the cache goes
+// degraded, advancing the clock past each error cooldown.
+func tripBreaker(t *testing.T, c *Cache, clk *fakeClock) {
+	t.Helper()
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		if c.Allowed(context.Background()) && !c.FailOpen {
+			t.Fatal("fail-closed cache granted during blackout")
+		}
+		if c.Mode() == "degraded" {
+			return
+		}
+		clk.advance(errorCooldown + time.Second)
+	}
+	if c.Mode() != "degraded" {
+		t.Fatalf("cache still %s after %d consecutive failures", c.Mode(), DefaultBreakerThreshold)
+	}
+}
+
+// TestCacheDegradedFailClosed pins the breaker lifecycle: consecutive
+// failures open it, an open breaker serves locally without backend
+// round trips, failed probes escalate the cooldown, and a successful
+// probe re-closes it.
+func TestCacheDegradedFailClosed(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000, 0)}
+	b := &flakyBackend{ttl: time.Minute}
+	c := &Cache{Fetch: b.fetch, Device: "d0", Cell: "bs0/s0", Clock: clk}
+	tripBreaker(t, c, clk)
+	tripCalls := b.calls.Load()
+
+	// Breaker open, cooldown pending: verdicts are local.
+	clk.advance(time.Second) // still inside DefaultBreakerCooldown (2s)
+	for i := 0; i < 5; i++ {
+		if c.Allowed(context.Background()) {
+			t.Fatal("fail-closed degraded cache granted")
+		}
+	}
+	if got := b.calls.Load(); got != tripCalls {
+		t.Errorf("degraded cache issued %d backend round trips", got-tripCalls)
+	}
+
+	// Cooldown elapsed: exactly one call probes, fails, and doubles the
+	// hold.
+	clk.advance(2 * time.Second)
+	c.Allowed(context.Background())
+	if got := b.calls.Load(); got != tripCalls+1 {
+		t.Fatalf("half-open window issued %d probes, want 1", got-tripCalls)
+	}
+	clk.advance(time.Second) // doubled cooldown (4s) still pending
+	c.Allowed(context.Background())
+	if got := b.calls.Load(); got != tripCalls+1 {
+		t.Errorf("probe inside doubled cooldown: %d extra calls", got-tripCalls-1)
+	}
+
+	// Backend recovers: the next probe closes the breaker and grants.
+	b.healthy.Store(true)
+	clk.advance(4 * time.Second)
+	if !c.Allowed(context.Background()) {
+		t.Error("recovered backend probe did not grant")
+	}
+	if c.Mode() != "normal" {
+		t.Errorf("mode %q after successful probe, want normal", c.Mode())
+	}
+}
+
+// TestCacheFailOpenGraceBoundary is the deterministic grace-window pin:
+// a fail-open degraded cache honours the last granted permit one second
+// before the grace boundary and rejects it one second after — under an
+// injected clock, so the edge is exact, not racy.
+func TestCacheFailOpenGraceBoundary(t *testing.T) {
+	const (
+		ttl   = 10 * time.Second
+		grace = 30 * time.Second
+	)
+	clk := &fakeClock{t: time.Unix(1_000, 0)}
+	b := &flakyBackend{ttl: ttl}
+	b.healthy.Store(true)
+	c := &Cache{
+		Fetch: b.fetch, Device: "d0", Cell: "bs0/s0", Clock: clk,
+		FailOpen: true, Grace: grace,
+		// Refresh exactly at expiry: no proactive jitter, so the grant
+		// expiry — and therefore the grace boundary — is exact.
+		RefreshLo: 1, RefreshHi: 1,
+	}
+	if !c.Allowed(context.Background()) {
+		t.Fatal("initial grant failed")
+	}
+	grantExpiry := clk.Now().Add(ttl)
+
+	// The daemon dies; the TTL lapses and the breaker trips.
+	b.healthy.Store(false)
+	clk.advance(ttl)
+	tripBreaker(t, c, clk)
+
+	// Inside the grace window the stale grant keeps serving.
+	boundary := grantExpiry.Add(grace)
+	clk.set(boundary.Add(-time.Second))
+	if !c.Allowed(context.Background()) {
+		t.Error("stale grant rejected at grace-1s")
+	}
+	clk.set(boundary.Add(time.Second))
+	if c.Allowed(context.Background()) {
+		t.Error("stale grant honoured at grace+1s")
+	}
+	// The boundary is sticky: repeated calls stay rejected (the verdict
+	// is recomputed, never cached back into the TTL state).
+	for i := 0; i < 3; i++ {
+		if c.Allowed(context.Background()) {
+			t.Fatal("stale grant resurrected after the boundary")
+		}
+	}
+
+	// Recovery ends degraded mode and re-grants normally.
+	b.healthy.Store(true)
+	clk.advance(time.Minute)
+	if !c.Allowed(context.Background()) {
+		t.Error("recovered backend did not re-grant")
+	}
+	if c.Mode() != "normal" {
+		t.Errorf("mode %q after recovery, want normal", c.Mode())
+	}
+}
+
+// TestCacheDegradedSchedulerFallsBack is the PR 5 blackout behaviour
+// through the permit plane: a degraded fail-closed cache gates the 3G
+// path shut, and the scheduler completes the whole transaction on ADSL
+// alone.
+func TestCacheDegradedSchedulerFallsBack(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000, 0)}
+	b := &flakyBackend{ttl: time.Minute}
+	c := &Cache{Fetch: b.fetch, Device: "d0", Cell: "bs0/s0", Clock: clk}
+	tripBreaker(t, c, clk)
+
+	adsl := &stubPath{name: "adsl", n: 100}
+	gated := GatePath(&stubPath{name: "3g", n: 100}, c.Allowed)
+	items := make([]scheduler.Item, 6)
+	for i := range items {
+		items[i] = scheduler.Item{ID: i, Size: 100}
+	}
+	rep, err := scheduler.Run(context.Background(), scheduler.Greedy, items,
+		[]scheduler.Path{adsl, gated}, scheduler.Options{})
+	if err != nil {
+		t.Fatalf("transaction failed during permit blackout: %v", err)
+	}
+	if got := rep.PerPath["adsl"].Items; got != len(items) {
+		t.Errorf("adsl completed %d of %d items", got, len(items))
+	}
+	if got := rep.PerPath["3g"].Items; got != 0 {
+		t.Errorf("3g completed %d items with no permit", got)
+	}
+}

@@ -1,6 +1,9 @@
 package permitplane
 
-import "threegol/internal/obs"
+import (
+	"threegol/internal/obs"
+	"threegol/internal/permitplane/wal"
+)
 
 // Result and outcome labels as recorded in Metrics.
 const (
@@ -13,6 +16,12 @@ const (
 
 	directionDL = "dl"
 	directionUL = "ul"
+
+	verdictStaleGrant = "stale_grant"
+	verdictFailClosed = "fail_closed"
+
+	probeOK     = "ok"
+	probeFailed = "failed"
 )
 
 // Metrics holds the permit plane's instruments; register with
@@ -47,12 +56,50 @@ type Metrics struct {
 	// because the backend has no /permits/batch endpoint.
 	BatchFallbacks *obs.Counter
 
+	// CacheDegraded counts transitions of the permit cache into
+	// degraded mode (the per-endpoint circuit breaker opened after
+	// consecutive refresh failures).
+	CacheDegraded *obs.Counter
+	// CacheDegradedServed counts Allowed verdicts served while
+	// degraded without touching the backend, by verdict
+	// (stale_grant | fail_closed).
+	CacheDegradedServed *obs.Counter
+	// CacheProbes counts half-open probes a degraded cache issued, by
+	// result (ok | failed). An ok probe closes the breaker.
+	CacheProbes *obs.Counter
+	// BatchReprobes counts re-probes of /permits/batch by a client
+	// latched onto the legacy single-GET fallback.
+	BatchReprobes *obs.Counter
+
 	// ActiveGrants is the admission loop's count of live (unexpired)
 	// permits across all cells.
 	ActiveGrants *obs.Gauge
 	// AdmittedLoad is the onloading load the admission loop has fed
 	// back into the cell model, in bits/s, by direction (dl | ul).
 	AdmittedLoad *obs.Gauge
+
+	// OutstandingGrants is the shard's live (unexpired) permit count;
+	// the shard-merged dump sums to the plane-wide total.
+	OutstandingGrants *obs.Gauge
+	// WALRecords counts write-ahead-log appends by op
+	// (grant | refresh | revoke | expire).
+	WALRecords *obs.Counter
+	// WALErrors counts failed WAL writes — the daemon keeps serving
+	// with degraded durability instead of going dark.
+	WALErrors *obs.Counter
+	// WALSnapshots counts snapshot compactions.
+	WALSnapshots *obs.Counter
+	// WALRecovered counts grants reconstructed by boot-time replay.
+	WALRecovered *obs.Counter
+	// WALExpiredOnRecovery counts replayed grants whose TTL lapsed
+	// during the outage and were expired at the recovery instant.
+	WALExpiredOnRecovery *obs.Counter
+	// WALReplayedRecords counts log records applied by boot-time
+	// replay (on top of the snapshot).
+	WALReplayedRecords *obs.Counter
+	// WALTornBytes counts trailing bytes a crash left torn, truncated
+	// at recovery.
+	WALTornBytes *obs.Counter
 }
 
 // NewMetrics registers the permit plane's metrics on r.
@@ -75,11 +122,36 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Permit-cache lookups coalesced onto an in-flight refresh (singleflight)."),
 		BatchFallbacks: r.NewCounter("permitplane_batch_fallbacks_total",
 			"Batch RPCs downgraded to per-permit GETs (backend without /permits/batch)."),
+		CacheDegraded: r.NewCounter("permitplane_cache_degraded_total",
+			"Permit-cache transitions into degraded mode (circuit breaker opened on consecutive refresh failures)."),
+		CacheDegradedServed: r.NewCounter("permitplane_cache_degraded_served_total",
+			"Permit verdicts served while degraded without a backend round trip, by verdict (stale_grant | fail_closed).",
+			"verdict"),
+		CacheProbes: r.NewCounter("permitplane_cache_probes_total",
+			"Half-open probes issued by a degraded permit cache, by result (ok | failed).", "result"),
+		BatchReprobes: r.NewCounter("permitplane_batch_reprobes_total",
+			"Jittered re-probes of /permits/batch by clients latched onto the legacy single-GET fallback."),
 		ActiveGrants: r.NewGauge("permitplane_active_grants",
 			"Live (unexpired) permits the admission loop is carrying across all cells."),
 		AdmittedLoad: r.NewGauge("permitplane_admitted_load_bps",
 			"Onloading load the admission loop has fed back into the cell model, by direction (dl | ul).",
 			"direction"),
+		OutstandingGrants: r.NewGauge("permitplane_outstanding_grants",
+			"Live (unexpired) permits tracked by the shard's grant store; shard-merged dumps sum to the plane total."),
+		WALRecords: r.NewCounter("permitplane_wal_records_total",
+			"Write-ahead-log appends, by op (grant | refresh | revoke | expire).", "op"),
+		WALErrors: r.NewCounter("permitplane_wal_errors_total",
+			"Failed write-ahead-log writes (durability degraded; decisions keep serving)."),
+		WALSnapshots: r.NewCounter("permitplane_wal_snapshots_total",
+			"Grant-state snapshot compactions."),
+		WALRecovered: r.NewCounter("permitplane_wal_recovered_grants_total",
+			"Outstanding grants reconstructed by boot-time WAL replay."),
+		WALExpiredOnRecovery: r.NewCounter("permitplane_wal_expired_on_recovery_total",
+			"Replayed grants whose TTL lapsed during the outage, expired at the recovery instant."),
+		WALReplayedRecords: r.NewCounter("permitplane_wal_replayed_records_total",
+			"Write-ahead-log records applied by boot-time replay (on top of the snapshot)."),
+		WALTornBytes: r.NewCounter("permitplane_wal_torn_bytes_total",
+			"Torn trailing bytes a crash left in the log, truncated at recovery."),
 	}
 }
 
@@ -149,4 +221,78 @@ func (m *Metrics) admitted(activeGrants int, dlBps, ulBps float64) {
 	m.ActiveGrants.Set(float64(activeGrants))
 	m.AdmittedLoad.With(directionDL).Set(dlBps)
 	m.AdmittedLoad.With(directionUL).Set(ulBps)
+}
+
+func (m *Metrics) cacheDegradedEnter() {
+	if m == nil {
+		return
+	}
+	m.CacheDegraded.Inc()
+}
+
+func (m *Metrics) cacheDegradedServed(staleGrant bool) {
+	if m == nil {
+		return
+	}
+	if staleGrant {
+		m.CacheDegradedServed.With(verdictStaleGrant).Inc()
+	} else {
+		m.CacheDegradedServed.With(verdictFailClosed).Inc()
+	}
+}
+
+func (m *Metrics) cacheProbed(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.CacheProbes.With(probeOK).Inc()
+	} else {
+		m.CacheProbes.With(probeFailed).Inc()
+	}
+}
+
+func (m *Metrics) batchReprobed() {
+	if m == nil {
+		return
+	}
+	m.BatchReprobes.Inc()
+}
+
+func (m *Metrics) walAppended(op wal.Op) {
+	if m == nil {
+		return
+	}
+	m.WALRecords.With(op.String()).Inc()
+}
+
+func (m *Metrics) walAppendFailed() {
+	if m == nil {
+		return
+	}
+	m.WALErrors.Inc()
+}
+
+func (m *Metrics) walSnapshotted() {
+	if m == nil {
+		return
+	}
+	m.WALSnapshots.Inc()
+}
+
+func (m *Metrics) walRecovered(grants, expired int, stats wal.RecoveryStats) {
+	if m == nil {
+		return
+	}
+	m.WALRecovered.Add(int64(grants))
+	m.WALExpiredOnRecovery.Add(int64(expired))
+	m.WALReplayedRecords.Add(stats.RecordsReplayed)
+	m.WALTornBytes.Add(stats.TornBytes)
+}
+
+func (m *Metrics) outstanding(n int) {
+	if m == nil {
+		return
+	}
+	m.OutstandingGrants.Set(float64(n))
 }

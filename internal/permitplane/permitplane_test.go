@@ -30,6 +30,12 @@ func (c *fakeClock) advance(d time.Duration) {
 	c.mu.Unlock()
 }
 
+func (c *fakeClock) set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
 func TestShardOfStableAndInRange(t *testing.T) {
 	for _, shards := range []int{1, 2, 4, 16} {
 		for i := 0; i < 1000; i++ {

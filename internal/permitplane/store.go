@@ -1,0 +1,372 @@
+package permitplane
+
+import (
+	"container/heap"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"threegol/internal/clock"
+	"threegol/internal/permitplane/wal"
+)
+
+// DefaultSnapshotEvery is how many WAL records a shard accumulates
+// before compacting them into a snapshot. Snapshots bound both log
+// growth and replay time; the write happens under the shard store lock
+// but touches only outstanding grants, so it stays small even at load.
+const DefaultSnapshotEvery = 8192
+
+// GrantStore tracks one shard's outstanding permits: which device
+// holds a grant, for which cell, until when. Every state change is
+// appended to a write-ahead log first (when the store is durable), so
+// a crashed daemon replays back to exactly the state it died with —
+// modulo the TTL expiries that genuinely lapsed while it was down.
+//
+// Expiry is lazy: a min-heap of (expiry, device) is drained at the top
+// of every mutation (and by ExpireDue), so TTL lapses are observed in
+// deterministic order without a background timer.
+type GrantStore struct {
+	mu    sync.Mutex
+	log   *wal.Log // nil for a memory-only store
+	state *wal.State
+	heap  storeExpiryHeap
+	clk   clock.Clock
+
+	metrics       *Metrics
+	snapshotEvery int
+	sinceSnapshot int
+	walErrs       int64
+
+	recovery Recovery
+}
+
+// Recovery describes one shard's boot-time WAL replay — the numbers
+// /debug/shards exposes and the chaos harness cross-checks.
+type Recovery struct {
+	// RecoveredGrants is how many outstanding grants survived replay
+	// (after expiring those whose TTL lapsed during the outage).
+	RecoveredGrants int `json:"recovered_grants"`
+	// ExpiredOnRecovery is how many replayed grants had lapsed while
+	// the daemon was down and were expired at the recovery instant.
+	ExpiredOnRecovery int `json:"expired_on_recovery"`
+	// RecoveredAt is the recovery instant in Unix nanoseconds: grants
+	// with Expiry > RecoveredAt survived, the rest expired. An
+	// independent replay of the same WAL filtered at this instant must
+	// reproduce StateHash exactly.
+	RecoveredAt int64 `json:"recovered_at_unixnano"`
+	// StateHash is the SHA-256 of the canonical state marshal at the
+	// recovery instant.
+	StateHash string `json:"state_hash"`
+	// Seconds is the wall time the replay took.
+	Seconds float64 `json:"seconds"`
+	// WAL carries the raw replay stats (snapshot seq, records
+	// replayed/skipped, torn bytes).
+	WAL wal.RecoveryStats `json:"wal"`
+}
+
+// NewGrantStore returns a memory-only store: grant state is tracked
+// (so /debug/shards reports outstanding permits) but nothing survives
+// the process.
+func NewGrantStore(clk clock.Clock, m *Metrics) *GrantStore {
+	return &GrantStore{
+		state:   wal.NewState(),
+		clk:     clock.Or(clk),
+		metrics: m,
+	}
+}
+
+// OpenGrantStore recovers a durable store from dir: load the snapshot,
+// replay the log, truncate any torn tail, expire grants that lapsed
+// during the outage, and immediately compact into a fresh snapshot so
+// the next recovery starts from here. snapshotEvery <= 0 selects
+// DefaultSnapshotEvery.
+//
+//3golvet:allow ctxprop — boot-time recovery: runs before any request exists to carry a context, and replay must complete or fail atomically
+func OpenGrantStore(dir string, clk clock.Clock, m *Metrics, snapshotEvery int) (*GrantStore, error) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = DefaultSnapshotEvery
+	}
+	c := clock.Or(clk)
+	t0 := c.Now()
+	log, state, stats, err := wal.Open(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &GrantStore{
+		log:           log,
+		state:         state,
+		clk:           c,
+		metrics:       m,
+		snapshotEvery: snapshotEvery,
+	}
+	recoveredAt := c.Now().UnixNano()
+	expired := state.ExpireDue(recoveredAt)
+	for _, g := range expired {
+		// The lapse happened while the daemon was down; record it so
+		// replay-of-the-replay converges instead of re-expiring.
+		if _, err := log.Append(wal.OpExpire, g.Device, g.Cell, recoveredAt, 0); err != nil {
+			log.Close()
+			return nil, err
+		}
+		state.Seq = log.Seq()
+	}
+	for _, g := range state.Grants {
+		heap.Push(&s.heap, storeExpiry{at: g.Expiry, device: g.Device, cell: g.Cell})
+	}
+	// Compact immediately: recovery cost never compounds across
+	// restarts, and the recovered state is durably pinned.
+	if err := log.WriteSnapshot(state); err != nil {
+		log.Close()
+		return nil, err
+	}
+	s.recovery = Recovery{
+		RecoveredGrants:   len(state.Grants),
+		ExpiredOnRecovery: len(expired),
+		RecoveredAt:       recoveredAt,
+		StateHash:         HashState(state),
+		Seconds:           c.Since(t0).Seconds(),
+		WAL:               stats,
+	}
+	m.walRecovered(len(state.Grants), len(expired), stats)
+	return s, nil
+}
+
+// Durable reports whether the store has a WAL behind it.
+func (s *GrantStore) Durable() bool { return s.log != nil }
+
+// Recovery returns the boot-time replay stats (zero for memory-only
+// stores and fresh directories).
+func (s *GrantStore) Recovery() Recovery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// RecordDecision folds one permit decision into the grant state. A
+// granted decision creates or refreshes the device's outstanding
+// permit for ttlSeconds; a denial revokes any permit the device still
+// held (its cell filled up — the operator's signal to stop onloading).
+// Decisions with no device identity cannot be tracked and are ignored.
+//
+//3golvet:allow ctxprop — the WAL append must stay ordered with the decision it records; cancelling it mid-write would desynchronise log and state
+func (s *GrantStore) RecordDecision(device, cell string, granted bool, ttlSeconds float64) {
+	if s == nil || device == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	s.expireLocked(now.UnixNano()) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+	key := wal.Key(device, cell)
+	switch {
+	case granted:
+		op := wal.OpGrant
+		if _, held := s.state.Grants[key]; held {
+			op = wal.OpRefresh
+		}
+		expiry := now.Add(time.Duration(ttlSeconds * float64(time.Second))).UnixNano()
+		s.applyLocked(op, device, cell, now.UnixNano(), expiry) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+		heap.Push(&s.heap, storeExpiry{at: expiry, device: device, cell: cell})
+	default:
+		if _, held := s.state.Grants[key]; held {
+			s.applyLocked(wal.OpRevoke, device, cell, now.UnixNano(), 0) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+		}
+	}
+	s.metrics.outstanding(len(s.state.Grants))
+	s.maybeSnapshotLocked() //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+}
+
+// ExpireDue retires every grant whose TTL has lapsed. Mutating calls
+// do this implicitly; daemons may also call it from a housekeeping
+// tick so idle shards shed state.
+//
+//3golvet:allow ctxprop — expiry records must land in the WAL whenever observed; no caller's cancellation should skip them
+func (s *GrantStore) ExpireDue() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.clk.Now().UnixNano()) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+	s.metrics.outstanding(len(s.state.Grants))
+}
+
+// expireLocked pops due grants in deterministic (expiry, device, cell)
+// order. The heap holds stale entries for refreshed grants; an entry
+// only expires the live grant when the expiry still matches.
+func (s *GrantStore) expireLocked(now int64) {
+	for len(s.heap) > 0 && s.heap[0].at <= now {
+		e := heap.Pop(&s.heap).(storeExpiry)
+		g, ok := s.state.Grants[wal.Key(e.device, e.cell)]
+		if !ok || g.Expiry != e.at {
+			continue // refreshed or revoked since this entry was pushed
+		}
+		s.applyLocked(wal.OpExpire, g.Device, g.Cell, now, 0)
+	}
+}
+
+// applyLocked appends the record (durable stores) and folds it into
+// the in-memory state. WAL append failures are counted and the state
+// still advances: a daemon with a full disk keeps serving decisions,
+// degraded to memory-only durability, rather than going dark.
+func (s *GrantStore) applyLocked(op wal.Op, device, cell string, at, expiry int64) {
+	if s.log != nil {
+		rec, err := s.log.Append(op, device, cell, at, expiry)
+		if err == nil {
+			s.state.Apply(rec)
+			s.sinceSnapshot++
+			s.metrics.walAppended(op)
+			return
+		}
+		s.walErrs++
+		s.metrics.walAppendFailed()
+	}
+	// Memory-only fold (or degraded durability): synthesise the seq.
+	s.state.Apply(wal.Record{
+		Seq: s.state.Seq + 1, Op: op, At: at, Expiry: expiry, Device: device, Cell: cell,
+	})
+}
+
+// maybeSnapshotLocked compacts once enough records accumulated.
+func (s *GrantStore) maybeSnapshotLocked() {
+	if s.log == nil || s.sinceSnapshot < s.snapshotEvery {
+		return
+	}
+	s.snapshotLocked()
+}
+
+func (s *GrantStore) snapshotLocked() {
+	if err := s.log.WriteSnapshot(s.state); err != nil {
+		s.walErrs++
+		s.metrics.walAppendFailed()
+		return
+	}
+	s.sinceSnapshot = 0
+	s.metrics.walSnapshotted()
+}
+
+// Snapshot flushes the current state to disk immediately — the
+// graceful-drain hook. Memory-only stores no-op.
+//
+//3golvet:allow ctxprop — shutdown-path flush: runs after request serving stopped, must not be cancellable
+func (s *GrantStore) Snapshot() {
+	if s == nil || s.log == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.clk.Now().UnixNano()) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+	s.snapshotLocked()                     //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+}
+
+// Close flushes a final snapshot and closes the log.
+//
+//3golvet:allow ctxprop — shutdown-path flush: runs after request serving stopped, must not be cancellable
+func (s *GrantStore) Close() error {
+	if s == nil || s.log == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.clk.Now().UnixNano()) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+	s.snapshotLocked()                     //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+	return s.log.Close()                   //3golvet:allow lockio — final close under the shard lock; nothing can contend after drain
+}
+
+// Outstanding reports the live (unexpired) grant count.
+//
+//3golvet:allow ctxprop — the only I/O is lazy expiry's WAL appends, which must not be skippable by cancellation
+func (s *GrantStore) Outstanding() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.clk.Now().UnixNano()) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+	return len(s.state.Grants)
+}
+
+// Seq reports the last applied WAL sequence number.
+func (s *GrantStore) Seq() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Seq
+}
+
+// StateHash reports the SHA-256 of the canonical state marshal after
+// expiring due grants — the cheap way for two observers to agree on an
+// entire shard's grant state.
+//
+//3golvet:allow ctxprop — the only I/O is lazy expiry's WAL appends, which must not be skippable by cancellation
+func (s *GrantStore) StateHash() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.clk.Now().UnixNano()) //3golvet:allow lockio — the WAL write is the durability point: it must stay ordered with the state mutation it records, under the per-shard lock; bounded local file I/O
+	return HashState(s.state)
+}
+
+// WALErrors reports how many WAL writes failed (durability degraded).
+func (s *GrantStore) WALErrors() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walErrs
+}
+
+// HashState is the SHA-256 of a state's canonical marshal — the same
+// digest StateHash and Recovery.StateHash report, exported so an
+// independent replayer (the chaos harness) can compare entire shard
+// states by fingerprint.
+func HashState(st *wal.State) string {
+	sum := sha256.Sum256(st.Marshal())
+	return hex.EncodeToString(sum[:])
+}
+
+// ShardWALDir names the per-shard WAL directory under a plane's root:
+// <root>/shard-<index>. One function shared by the daemon and the
+// chaos harness, so the independent replay always looks where the
+// daemon wrote.
+func ShardWALDir(root string, shard int) string {
+	return fmt.Sprintf("%s/shard-%d", root, shard)
+}
+
+// storeExpiry is one (expiry, device, cell) entry of the lazy min-heap.
+type storeExpiry struct {
+	at           int64
+	device, cell string
+}
+
+// storeExpiryHeap orders by expiry, breaking ties by (device, cell) so
+// the drain order — and therefore the OpExpire record order in the WAL
+// — is deterministic.
+type storeExpiryHeap []storeExpiry
+
+func (h storeExpiryHeap) Len() int { return len(h) }
+func (h storeExpiryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].device != h[j].device {
+		return h[i].device < h[j].device
+	}
+	return h[i].cell < h[j].cell
+}
+func (h storeExpiryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *storeExpiryHeap) Push(x any)   { *h = append(*h, x.(storeExpiry)) }
+func (h *storeExpiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,179 @@
+package permitplane
+
+import (
+	"testing"
+	"time"
+
+	"threegol/internal/permitplane/wal"
+)
+
+func storeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func TestGrantStoreExpiryHeap(t *testing.T) {
+	clk := storeClock()
+	s := NewGrantStore(clk, nil)
+
+	s.RecordDecision("d1", "bs0/s0", true, 10)
+	s.RecordDecision("d2", "bs0/s1", true, 20)
+	s.RecordDecision("d3", "bs0/s2", true, 30)
+	if got := s.Outstanding(); got != 3 {
+		t.Fatalf("outstanding = %d, want 3", got)
+	}
+
+	// d1's 10s TTL lapses; the others survive.
+	clk.advance(11 * time.Second)
+	if got := s.Outstanding(); got != 2 {
+		t.Errorf("outstanding after d1 lapse = %d, want 2", got)
+	}
+
+	// Refresh d2 before its 20s lapse: the old heap entry goes stale
+	// and must NOT expire the refreshed grant.
+	clk.advance(5 * time.Second) // t = +16s; d2's original expiry is +20s
+	s.RecordDecision("d2", "bs0/s1", true, 60)
+	clk.advance(10 * time.Second) // t = +26s; past the stale entry
+	if got := s.Outstanding(); got != 2 {
+		t.Errorf("stale heap entry expired a refreshed grant: outstanding = %d, want 2", got)
+	}
+
+	// d3 lapses at +30s, refreshed d2 at +16+60s.
+	clk.advance(10 * time.Second)
+	if got := s.Outstanding(); got != 1 {
+		t.Errorf("outstanding after d3 lapse = %d, want 1", got)
+	}
+	clk.advance(60 * time.Second)
+	if got := s.Outstanding(); got != 0 {
+		t.Errorf("outstanding after all lapse = %d, want 0", got)
+	}
+}
+
+func TestGrantStoreRevokeOnDenial(t *testing.T) {
+	clk := storeClock()
+	s := NewGrantStore(clk, nil)
+	s.RecordDecision("d1", "bs0/s0", true, 100)
+	if got := s.Outstanding(); got != 1 {
+		t.Fatalf("outstanding = %d, want 1", got)
+	}
+	// The cell filled up: a denial revokes the held grant immediately.
+	s.RecordDecision("d1", "bs0/s0", false, 0)
+	if got := s.Outstanding(); got != 0 {
+		t.Errorf("outstanding after revoke = %d, want 0", got)
+	}
+	// A denial for a device holding nothing is a no-op.
+	s.RecordDecision("d2", "bs0/s0", false, 0)
+	if got := s.Seq(); got != 2 {
+		t.Errorf("seq = %d, want 2 (grant + revoke only)", got)
+	}
+}
+
+func TestGrantStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clk := storeClock()
+
+	s, err := OpenGrantStore(dir, clk, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RecordDecision("short", "bs0/s0", true, 10)
+	s.RecordDecision("long", "bs0/s1", true, 1000)
+	s.RecordDecision("gone", "bs0/s2", true, 1000)
+	s.RecordDecision("gone", "bs0/s2", false, 0) // revoked
+	preHash := s.StateHash()
+	// Crash: no Close, no snapshot — the WAL alone must carry the state.
+
+	// The outage outlives short's TTL.
+	clk.advance(60 * time.Second)
+	r, err := OpenGrantStore(dir, clk, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.RecoveredGrants != 1 {
+		t.Errorf("recovered %d grants, want 1 (long)", rec.RecoveredGrants)
+	}
+	if rec.ExpiredOnRecovery != 1 {
+		t.Errorf("expired %d on recovery, want 1 (short)", rec.ExpiredOnRecovery)
+	}
+	if rec.StateHash == "" || rec.StateHash == preHash {
+		t.Errorf("recovery hash %q should differ from pre-crash hash %q (short expired)", rec.StateHash, preHash)
+	}
+	if rec.StateHash != r.StateHash() {
+		t.Errorf("recovery hash %q != live hash %q", rec.StateHash, r.StateHash())
+	}
+	if got := r.Outstanding(); got != 1 {
+		t.Errorf("outstanding after recovery = %d, want 1", got)
+	}
+	if rec.WAL.RecordsReplayed != 4 {
+		t.Errorf("replayed %d records, want 4", rec.WAL.RecordsReplayed)
+	}
+
+	// An independent read-only replay filtered at the recovery instant
+	// must agree — the exact invariant the chaos harness asserts.
+	st, _, err := wal.Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ExpireDue(rec.RecoveredAt)
+	if got := HashState(st); got != rec.StateHash {
+		t.Errorf("independent replay hash %q != recovery hash %q", got, rec.StateHash)
+	}
+}
+
+func TestGrantStoreSnapshotOnClose(t *testing.T) {
+	dir := t.TempDir()
+	clk := storeClock()
+	s, err := OpenGrantStore(dir, clk, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RecordDecision("d1", "bs0/s0", true, 1000)
+	s.RecordDecision("d2", "bs0/s1", true, 1000)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean close compacted everything into the snapshot: reopening
+	// replays zero log records.
+	r, err := OpenGrantStore(dir, clk, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.WAL.RecordsReplayed != 0 {
+		t.Errorf("replayed %d log records after clean close, want 0 (snapshot covers all)", rec.WAL.RecordsReplayed)
+	}
+	if rec.RecoveredGrants != 2 {
+		t.Errorf("recovered %d grants, want 2", rec.RecoveredGrants)
+	}
+}
+
+func TestGrantStoreSnapshotEvery(t *testing.T) {
+	dir := t.TempDir()
+	clk := storeClock()
+	s, err := OpenGrantStore(dir, clk, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.RecordDecision("d", "bs0/s0", true, 1000)
+	}
+	// 10 records with snapshotEvery=4: compactions at 4 and 8, leaving
+	// at most 2 records in the live log.
+	st, stats, err := wal.Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SnapshotSeq == 0 {
+		t.Error("no snapshot written despite snapshotEvery=4")
+	}
+	if stats.RecordsReplayed > 3 {
+		t.Errorf("%d records in live log, want <= 3 after periodic compaction", stats.RecordsReplayed)
+	}
+	if len(st.Grants) != 1 {
+		t.Errorf("replayed %d grants, want 1", len(st.Grants))
+	}
+}

@@ -1,0 +1,551 @@
+// Package wal is the permit plane's durability layer: a per-shard,
+// checksummed, append-only write-ahead log of grant-state changes
+// (grant / refresh / revoke / expiry) with periodic snapshot
+// compaction.
+//
+// The contract is deterministic replay: the same bytes always
+// reconstruct the same shard state, byte-identically under
+// State.Marshal, no matter how many times the process died in between.
+// Three properties make that hold through a kill -9 at any byte:
+//
+//   - Every record is framed as length + CRC32 + payload. A torn tail
+//     (the partial record a dying process left behind) fails the
+//     length or checksum test; Open truncates the log at the last
+//     valid frame instead of refusing to start, and Replay stops
+//     there. Both observers therefore agree on exactly which records
+//     exist.
+//   - Snapshots are written to a temp file and renamed into place, so
+//     a snapshot either exists completely or not at all. The snapshot
+//     records the last sequence number it covers; replay skips log
+//     records at or below it, so a crash between "snapshot renamed"
+//     and "log truncated" double-applies nothing.
+//   - Sequence numbers are assigned at append time and never reused,
+//     so any prefix of the log composes with any snapshot into one
+//     well-defined state.
+//
+// The package is deliberately free of clocks and goroutines: callers
+// stamp records with their own time source and serialise appends (the
+// permit plane holds one per-shard store lock), which keeps replay a
+// pure function of the bytes on disk.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Op is a grant-state change class.
+type Op uint8
+
+// The four record kinds. Grant creates an outstanding permit for a
+// device, Refresh extends one that already exists, Revoke drops one
+// because a later decision denied the device (its cell filled up), and
+// Expire drops one whose TTL lapsed.
+const (
+	OpGrant Op = iota + 1
+	OpRefresh
+	OpRevoke
+	OpExpire
+)
+
+// String names the op for logs and event attributes.
+func (op Op) String() string {
+	switch op {
+	case OpGrant:
+		return "grant"
+	case OpRefresh:
+		return "refresh"
+	case OpRevoke:
+		return "revoke"
+	case OpExpire:
+		return "expire"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Record is one grant-state change.
+type Record struct {
+	// Seq is the record's log sequence number: strictly increasing,
+	// assigned by Append, never reused.
+	Seq uint64
+	// Op classifies the change.
+	Op Op
+	// At is the decision time in Unix nanoseconds (the caller's clock;
+	// replay never consults a clock of its own).
+	At int64
+	// Expiry is the permit's expiry in Unix nanoseconds; zero for
+	// Revoke and Expire records.
+	Expiry int64
+	// Device and Cell identify the permit.
+	Device, Cell string
+}
+
+// Frame layout: u32 payload length, u32 CRC32 (IEEE) of the payload,
+// then the payload. maxPayload bounds a frame so a corrupt length
+// field reads as a torn tail instead of a giant allocation.
+const (
+	frameHeader = 8
+	maxPayload  = 1 << 16
+)
+
+// encode appends the record's frame to buf and returns the result.
+func encode(buf []byte, r Record) []byte {
+	payload := make([]byte, 0, 29+len(r.Device)+len(r.Cell))
+	payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+	payload = append(payload, byte(r.Op))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(r.At))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(r.Expiry))
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.Device)))
+	payload = append(payload, r.Device...)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.Cell)))
+	payload = append(payload, r.Cell...)
+
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// errTorn reports an invalid or incomplete frame — the replay loop's
+// signal to stop at the previous record boundary.
+var errTorn = errors.New("wal: torn or corrupt frame")
+
+// decodeFrame parses one frame from b. n is the total frame size
+// consumed on success.
+func decodeFrame(b []byte) (r Record, n int, err error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, errTorn
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if plen < 27 || plen > maxPayload || len(b) < frameHeader+plen {
+		return Record{}, 0, errTorn
+	}
+	payload := b[frameHeader : frameHeader+plen]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, errTorn
+	}
+	r.Seq = binary.LittleEndian.Uint64(payload)
+	r.Op = Op(payload[8])
+	r.At = int64(binary.LittleEndian.Uint64(payload[9:]))
+	r.Expiry = int64(binary.LittleEndian.Uint64(payload[17:]))
+	off := 25
+	dlen := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	if off+dlen+2 > plen {
+		return Record{}, 0, errTorn
+	}
+	r.Device = string(payload[off : off+dlen])
+	off += dlen
+	clen := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	if off+clen != plen {
+		return Record{}, 0, errTorn
+	}
+	r.Cell = string(payload[off : off+clen])
+	if r.Op < OpGrant || r.Op > OpExpire {
+		return Record{}, 0, errTorn
+	}
+	return r, frameHeader + plen, nil
+}
+
+// RecoveryStats describes what Open (or Replay) found on disk.
+type RecoveryStats struct {
+	// SnapshotSeq is the sequence number the loaded snapshot covers;
+	// zero when no snapshot was usable.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotGrants is how many outstanding grants the snapshot held.
+	SnapshotGrants int `json:"snapshot_grants"`
+	// RecordsReplayed counts log records applied on top of the
+	// snapshot.
+	RecordsReplayed int64 `json:"records_replayed"`
+	// RecordsSkipped counts log records already covered by the
+	// snapshot (seq <= SnapshotSeq) — nonzero only after a crash
+	// between snapshot rename and log truncation.
+	RecordsSkipped int64 `json:"records_skipped"`
+	// TornBytes is how many trailing bytes failed the frame checks and
+	// were truncated (Open) or ignored (Replay).
+	TornBytes int64 `json:"torn_bytes"`
+	// SnapshotCorrupt reports that a snapshot file existed but failed
+	// its checksum; recovery fell back to replaying the log alone.
+	SnapshotCorrupt bool `json:"snapshot_corrupt,omitempty"`
+}
+
+const (
+	logName      = "wal.log"
+	snapName     = "snapshot.snap"
+	snapTempName = "snapshot.snap.tmp"
+)
+
+// Log is one shard's write-ahead log: an open log file plus the
+// snapshot machinery. Callers serialise all method calls (the permit
+// plane's per-shard store lock).
+type Log struct {
+	dir       string
+	f         *os.File
+	seq       uint64
+	syncEvery int
+	unsynced  int
+	recovered RecoveryStats
+}
+
+// Open recovers a shard directory and returns the log ready for
+// appends, the reconstructed state, and what recovery found. A torn
+// tail is truncated in place so the next append lands on a valid
+// frame boundary. The directory is created if missing.
+func Open(dir string, syncEvery int) (*Log, *State, RecoveryStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, RecoveryStats{}, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	st, stats, validLen, err := replayDir(dir)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("wal: opening log in %s: %w", dir, err)
+	}
+	if stats.TornBytes > 0 {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, stats, fmt.Errorf("wal: truncating torn tail in %s: %w", dir, err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("wal: seeking log in %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, f: f, seq: st.Seq, syncEvery: syncEvery, recovered: stats}
+	return l, st, stats, nil
+}
+
+// Replay reconstructs a shard's state read-only — the chaos harness's
+// independent observer. It never writes: a torn tail is skipped, not
+// truncated, so replaying a dead daemon's directory is side-effect
+// free and two replays of the same bytes always agree.
+func Replay(dir string) (*State, RecoveryStats, error) {
+	st, stats, _, err := replayDir(dir)
+	return st, stats, err
+}
+
+// replayDir loads the snapshot and replays the log, returning the
+// state, the stats, and the byte length of the log's valid prefix.
+func replayDir(dir string) (*State, RecoveryStats, int64, error) {
+	var stats RecoveryStats
+	st := NewState()
+	snapBytes, err := os.ReadFile(filepath.Join(dir, snapName))
+	switch {
+	case err == nil:
+		if err := st.unmarshalSnapshot(snapBytes); err != nil {
+			// A corrupt snapshot cannot be partially trusted; fall back
+			// to whatever the log alone reconstructs rather than refuse
+			// to start.
+			st = NewState()
+			stats.SnapshotCorrupt = true
+		} else {
+			stats.SnapshotSeq = st.Seq
+			stats.SnapshotGrants = len(st.Grants)
+		}
+	case os.IsNotExist(err):
+	default:
+		return nil, stats, 0, fmt.Errorf("wal: reading snapshot in %s: %w", dir, err)
+	}
+
+	logBytes, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, stats, 0, fmt.Errorf("wal: reading log in %s: %w", dir, err)
+	}
+	off := 0
+	for off < len(logBytes) {
+		r, n, err := decodeFrame(logBytes[off:])
+		if err != nil {
+			stats.TornBytes = int64(len(logBytes) - off)
+			break
+		}
+		if r.Seq <= st.Seq {
+			stats.RecordsSkipped++
+		} else {
+			st.Apply(r)
+			stats.RecordsReplayed++
+		}
+		off += n
+	}
+	return st, stats, int64(off), nil
+}
+
+// Seq reports the last assigned sequence number.
+func (l *Log) Seq() uint64 { return l.seq }
+
+// Recovered reports what Open found.
+func (l *Log) Recovered() RecoveryStats { return l.recovered }
+
+// Append assigns the next sequence number to a record, writes its
+// frame, and returns the stamped record for the caller to apply to its
+// state. With syncEvery > 0 the file is fsynced every that many
+// appends; syncEvery == 0 never fsyncs, which still survives kill -9
+// (the kernel owns written pages) but not power loss.
+func (l *Log) Append(op Op, device, cell string, at, expiry int64) (Record, error) {
+	r := Record{Seq: l.seq + 1, Op: op, At: at, Expiry: expiry, Device: device, Cell: cell}
+	if _, err := l.f.Write(encode(nil, r)); err != nil {
+		return Record{}, fmt.Errorf("wal: appending %s record: %w", op, err)
+	}
+	l.seq = r.Seq
+	l.unsynced++
+	if l.syncEvery > 0 && l.unsynced >= l.syncEvery {
+		if err := l.f.Sync(); err != nil {
+			return Record{}, fmt.Errorf("wal: syncing log: %w", err)
+		}
+		l.unsynced = 0
+	}
+	return r, nil
+}
+
+// WriteSnapshot persists st atomically (temp file + rename) and
+// truncates the log: every record the snapshot covers is compacted
+// away. A crash at any point leaves a recoverable directory — the old
+// snapshot until the rename, skipped duplicate records until the
+// truncation.
+func (l *Log) WriteSnapshot(st *State) error {
+	tmp := filepath.Join(l.dir, snapTempName)
+	buf := st.marshalSnapshot()
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating compacted log: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: rewinding compacted log: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Size reports the log file's current byte length (diagnostics).
+func (l *Log) Size() (int64, error) {
+	fi, err := l.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: stat log: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// Close syncs and closes the log file. It does not snapshot; callers
+// that want a final compaction call WriteSnapshot first.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: syncing log on close: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing log: %w", err)
+	}
+	return nil
+}
+
+// Grant is one outstanding permit in the reconstructed state.
+type Grant struct {
+	Device string
+	Cell   string
+	At     int64
+	Expiry int64
+	Seq    uint64
+}
+
+// Key is the grant map key: a permit authorises one device to onload
+// via one cell, so state is keyed by the (device, cell) pair. Keying by
+// device alone would make shard-merged totals depend on the shard
+// count (shards own cells, so one device's grants in two cells live in
+// two shards) and break the byte-identical merge guarantee.
+func Key(device, cell string) string {
+	return device + "\x00" + cell
+}
+
+// State is the replayable shard state: outstanding grants keyed by
+// (device, cell), the last applied sequence number, and cumulative
+// lifecycle counters. Apply is a pure fold over records, so any two
+// observers that saw the same records hold byte-identical state.
+type State struct {
+	Grants map[string]Grant
+	Seq    uint64
+	// TotalGrants, TotalRefreshes, TotalRevokes and TotalExpiries
+	// count lifecycle transitions since the log began (snapshots carry
+	// them forward through compaction).
+	TotalGrants, TotalRefreshes, TotalRevokes, TotalExpiries uint64
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{Grants: make(map[string]Grant)}
+}
+
+// Apply folds one record into the state.
+func (st *State) Apply(r Record) {
+	k := Key(r.Device, r.Cell)
+	switch r.Op {
+	case OpGrant:
+		st.TotalGrants++
+		st.Grants[k] = Grant{Device: r.Device, Cell: r.Cell, At: r.At, Expiry: r.Expiry, Seq: r.Seq}
+	case OpRefresh:
+		st.TotalRefreshes++
+		st.Grants[k] = Grant{Device: r.Device, Cell: r.Cell, At: r.At, Expiry: r.Expiry, Seq: r.Seq}
+	case OpRevoke:
+		st.TotalRevokes++
+		delete(st.Grants, k)
+	case OpExpire:
+		st.TotalExpiries++
+		delete(st.Grants, k)
+	}
+	st.Seq = r.Seq
+}
+
+// ExpireDue removes every grant whose expiry is at or before now,
+// returning them sorted by (expiry, device, cell) so callers that log
+// the expiries produce a deterministic record order.
+func (st *State) ExpireDue(now int64) []Grant {
+	var due []Grant
+	for _, g := range st.Grants {
+		if g.Expiry <= now {
+			due = append(due, g)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].Expiry != due[j].Expiry {
+			return due[i].Expiry < due[j].Expiry
+		}
+		if due[i].Device != due[j].Device {
+			return due[i].Device < due[j].Device
+		}
+		return due[i].Cell < due[j].Cell
+	})
+	for _, g := range due {
+		delete(st.Grants, Key(g.Device, g.Cell))
+	}
+	return due
+}
+
+// Marshal renders the state canonically: a header line followed by one
+// line per outstanding grant in (device, cell) order. Two states with
+// the same grants, seq and counters marshal to identical bytes — the
+// "byte-identical replay" pin the recovery tests and the chaos
+// harness's cross-process hash comparison both rest on.
+func (st *State) Marshal() []byte {
+	devices := make([]string, 0, len(st.Grants))
+	for d := range st.Grants {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	buf := fmt.Appendf(nil, "seq=%d grants=%d total=%d/%d/%d/%d\n",
+		st.Seq, len(st.Grants),
+		st.TotalGrants, st.TotalRefreshes, st.TotalRevokes, st.TotalExpiries)
+	for _, d := range devices {
+		g := st.Grants[d]
+		buf = fmt.Appendf(buf, "%s %s %d %d %d\n", g.Device, g.Cell, g.At, g.Expiry, g.Seq)
+	}
+	return buf
+}
+
+// Snapshot payload: u32 length + u32 CRC frame (same as records)
+// around: seq, four counters, grant count, then each grant in device
+// order.
+func (st *State) marshalSnapshot() []byte {
+	devices := make([]string, 0, len(st.Grants))
+	for d := range st.Grants {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	payload := make([]byte, 0, 44+len(devices)*48)
+	payload = binary.LittleEndian.AppendUint64(payload, st.Seq)
+	payload = binary.LittleEndian.AppendUint64(payload, st.TotalGrants)
+	payload = binary.LittleEndian.AppendUint64(payload, st.TotalRefreshes)
+	payload = binary.LittleEndian.AppendUint64(payload, st.TotalRevokes)
+	payload = binary.LittleEndian.AppendUint64(payload, st.TotalExpiries)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(devices)))
+	for _, d := range devices {
+		g := st.Grants[d]
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(g.Device)))
+		payload = append(payload, g.Device...)
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(g.Cell)))
+		payload = append(payload, g.Cell...)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(g.At))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(g.Expiry))
+		payload = binary.LittleEndian.AppendUint64(payload, g.Seq)
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// errSnapshot reports an unreadable snapshot file.
+var errSnapshot = errors.New("wal: corrupt snapshot")
+
+func (st *State) unmarshalSnapshot(b []byte) error {
+	if len(b) < frameHeader {
+		return errSnapshot
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if plen < 44 || len(b) != frameHeader+plen {
+		return errSnapshot
+	}
+	payload := b[frameHeader:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return errSnapshot
+	}
+	st.Seq = binary.LittleEndian.Uint64(payload)
+	st.TotalGrants = binary.LittleEndian.Uint64(payload[8:])
+	st.TotalRefreshes = binary.LittleEndian.Uint64(payload[16:])
+	st.TotalRevokes = binary.LittleEndian.Uint64(payload[24:])
+	st.TotalExpiries = binary.LittleEndian.Uint64(payload[32:])
+	n := int(binary.LittleEndian.Uint32(payload[40:]))
+	off := 44
+	for i := 0; i < n; i++ {
+		var g Grant
+		if off+2 > len(payload) {
+			return errSnapshot
+		}
+		dlen := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+dlen+2 > len(payload) {
+			return errSnapshot
+		}
+		g.Device = string(payload[off : off+dlen])
+		off += dlen
+		clen := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if off+clen+24 > len(payload) {
+			return errSnapshot
+		}
+		g.Cell = string(payload[off : off+clen])
+		off += clen
+		g.At = int64(binary.LittleEndian.Uint64(payload[off:]))
+		g.Expiry = int64(binary.LittleEndian.Uint64(payload[off+8:]))
+		g.Seq = binary.LittleEndian.Uint64(payload[off+16:])
+		off += 24
+		st.Grants[Key(g.Device, g.Cell)] = g
+	}
+	if off != len(payload) {
+		return errSnapshot
+	}
+	return nil
+}

@@ -33,9 +33,14 @@
 # PR that regresses recovery behaviour shows up as a diff.
 #
 # And BENCH_permit.json: 3golpermitload drives 100k simulated clients
-# against a real sharded 3golpermitd over HTTP, tracking decisions/sec,
-# grant ratio and p50/p99 RPC latency so a PR that regresses the permit
-# plane's hot path shows up as a diff.
+# against a real sharded 3golpermitd over HTTP — running durable
+# (-wal), so the WAL append sits in the measured hot path — tracking
+# decisions/sec, grant ratio and p50/p99 RPC latency so a PR that
+# regresses the permit plane's hot path shows up as a diff. A second,
+# chaos run SIGKILLs the daemon mid-load and records recovery_seconds,
+# outage_seconds and the phase-split client error counters; recovery
+# time is ratcheted against the committed figure (5x + 0.5 s slack) so
+# a replay regression fails the bench.
 #
 # Only simulation-path work runs here: the prototype-path experiments
 # (fig6–fig9) drive real sockets for seconds per rep and belong to
@@ -193,21 +198,44 @@ if ss -tln 2> /dev/null | grep -q ':7391 '; then
     exit 1
 fi
 permit=$(mktemp)
+permitchaos=$(mktemp)
 feed=$(mktemp)
 permitd_bin=$(mktemp)
-trap 'rm -f "$fleet" "$sim" "$bench" "$tput" "$chaos" "$vet" "$permit" "$feed" "$permitd_bin"' EXIT
+wal_dir=$(mktemp -d)
+trap 'rm -f "$fleet" "$sim" "$bench" "$tput" "$chaos" "$vet" "$permit" "$permitchaos" "$feed" "$permitd_bin"; rm -rf "$wal_dir"' EXIT
 awk 'BEGIN { for (i = 0; i < 256; i++) printf "cell-%d %.1f\n", i, (i % 10) / 10 }' > "$feed"
 go build -o "$permitd_bin" ./cmd/3golpermitd
-"$permitd_bin" -listen 127.0.0.1:7391 -shards 4 -deny-unknown -stdin-feed < "$feed" &
+"$permitd_bin" -listen 127.0.0.1:7391 -shards 4 -deny-unknown -stdin-feed -wal "$wal_dir" < "$feed" &
 permitd_pid=$!
 timeout 120 go run ./cmd/3golpermitload \
     -backend http://127.0.0.1:7391 -clients 100000 -duration 300 -json "$permit"
 kill "$permitd_pid"
 wait "$permitd_pid" 2> /dev/null || true
 
+echo '==> 3golpermitload -chaos (kill -9 / recovery trajectory)'
+# A real daemon SIGKILLed mid-load: the harness independently replays
+# the WAL, restarts the daemon on the same port, and cross-checks every
+# shard's recovered state hash, exiting non-zero on any divergence.
+# The lifecycle eventlog lands at chaos-permit-events.jsonl for CI.
+timeout 120 go run ./cmd/3golpermitload -chaos -permitd "$permitd_bin" \
+    -clients 20000 -cells 256 -duration 300 -timescale 30 \
+    -events chaos-permit-events.jsonl -json "$permitchaos"
+
+# --- recovery ratchet: replay time must not blow up across PRs ---
+new_rec=$(jq '.chaos.recovery_seconds' "$permitchaos")
+if [ -f BENCH_permit.json ]; then
+    old_rec=$(jq '.chaos_report.chaos.recovery_seconds // empty' BENCH_permit.json)
+    if [ -n "$old_rec" ] && [ "$(awk -v n="$new_rec" -v o="$old_rec" 'BEGIN { print (n > o * 5 + 0.5) ? 1 : 0 }')" = "1" ]; then
+        echo "bench.sh: FAIL — WAL recovery took ${new_rec}s, committed figure ${old_rec}s (ratchet: 5x + 0.5s)" >&2
+        exit 1
+    fi
+fi
+
 jq -n \
     --slurpfile permit "$permit" \
+    --slurpfile pchaos "$permitchaos" \
     '{generated_by: "scripts/bench.sh",
-      permit_report: $permit[0]}' > BENCH_permit.json
+      permit_report: $permit[0],
+      chaos_report: $pchaos[0]}' > BENCH_permit.json
 
-echo "bench.sh: wrote BENCH_permit.json"
+echo "bench.sh: wrote BENCH_permit.json (chaos recovery ${new_rec}s)"

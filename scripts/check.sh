@@ -26,9 +26,15 @@
 #      over real HTTP and asserts the decision invariants (no errors,
 #      every client served, mixed grant/deny split); the JSON report is
 #      left at bench-permit-smoke.json for CI artifact upload
-#  11. metrics docs — METRICS.md must match the live registry
+#  11. permit chaos smoke — 3golpermitload -chaos spawns a real
+#      3golpermitd with a WAL, SIGKILLs it mid-load, independently
+#      replays the WAL, restarts the daemon and cross-checks every
+#      shard's recovered state hash; the command exits non-zero on any
+#      recovery-invariant violation. The lifecycle eventlog is left at
+#      chaos-permit-events.jsonl for CI artifact upload
+#  12. metrics docs — METRICS.md must match the live registry
 #      (3golobs gen-docs -check)
-#  12. package docs — every package must carry a godoc comment
+#  13. package docs — every package must carry a godoc comment
 #      (go list's .Doc field is empty otherwise)
 #
 # Usage: ./scripts/check.sh   (from anywhere; cd's to the repo root)
@@ -106,6 +112,17 @@ echo '==> permit smoke (3golpermitload -smoke)'
 # in-process sharded backend and asserts its own invariants, exiting
 # non-zero on any violation. The report is kept for CI upload.
 timeout 120 go run ./cmd/3golpermitload -smoke -json bench-permit-smoke.json
+
+echo '==> permit chaos smoke (3golpermitload -chaos kill/recover invariants)'
+# Process-level durability: kill -9 a loaded daemon, verify the WAL
+# replays to exactly the pre-kill grant state (modulo TTL expiries),
+# and that the client fleet rides through the outage without crashes or
+# double-counted outcomes. The harness exits non-zero on any violation.
+permitd=$(mktemp)
+go build -o "$permitd" ./cmd/3golpermitd
+timeout 120 go run ./cmd/3golpermitload -chaos -smoke -permitd "$permitd" \
+    -events chaos-permit-events.jsonl > /dev/null
+rm -f "$permitd"
 
 echo '==> metrics docs (3golobs gen-docs -check)'
 # METRICS.md is rendered from the live metric registry; adding, renaming
