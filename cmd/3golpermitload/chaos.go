@@ -292,9 +292,10 @@ func runChaos(o options) (*result, error) {
 
 	// Cross-check every shard: the daemon's recovered state hash must
 	// equal our replay after filtering the TTL expiries that lapsed at
-	// the daemon's recovery instant. The daemon logged one OpExpire per
-	// lapsed grant (advancing its sequence number without re-counting
-	// the expiry), so the mirror is ExpireDue + a seq bump.
+	// the daemon's recovery instant. The daemon folded one OpExpire
+	// record per lapsed grant through Apply (advancing its sequence
+	// number and expiry counter), so the mirror is ExpireDue + the same
+	// seq and counter bumps.
 	shards, err := fetchShards(backendURL)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
@@ -316,6 +317,7 @@ func runChaos(o options) (*result, error) {
 		st := states[ss.Shard]
 		expired := st.ExpireDue(rec.RecoveredAt)
 		st.Seq += uint64(len(expired))
+		st.TotalExpiries += uint64(len(expired))
 		if h := permitplane.HashState(st); h != rec.StateHash {
 			return nil, fmt.Errorf("chaos: shard %d diverged across kill -9: independent replay %s, daemon recovered %s (%d grants vs %d)",
 				ss.Shard, h, rec.StateHash, len(st.Grants), rec.RecoveredGrants)

@@ -13,6 +13,7 @@ import (
 	"threegol/internal/obs"
 	"threegol/internal/obs/eventlog"
 	"threegol/internal/permit"
+	"threegol/internal/permitplane/wal"
 )
 
 // MaxBatch bounds the number of permit requests one batch RPC may
@@ -173,6 +174,14 @@ func (s *Sharded) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/permit":
 		s.metrics.routed()
 		cell := r.URL.Query().Get("cell")
+		device := r.URL.Query().Get("device")
+		if len(cell) > wal.MaxIDLen || len(device) > wal.MaxIDLen {
+			// An oversized ID cannot be framed in the WAL; reject it at
+			// the edge instead of granting an untrackable permit.
+			http.Error(w, fmt.Sprintf("device or cell ID exceeds %d bytes", wal.MaxIDLen),
+				http.StatusBadRequest)
+			return
+		}
 		sh := s.shardFor(cell) // an empty cell routes to shard 0
 		if cell == "" || s.cfg.Utilization == nil {
 			// The shard's own Backend writes the canonical error reply.
@@ -183,7 +192,7 @@ func (s *Sharded) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if tc, ok := eventlog.ExtractHTTP(r.Header); ok {
 			ctx = eventlog.NewContext(ctx, tc)
 		}
-		resp := s.decideOn(sh, ctx, r.URL.Query().Get("device"), cell)
+		resp := s.decideOn(sh, ctx, device, cell)
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(resp) // client disconnect; nothing to do
 	case "/permits/batch":
@@ -221,6 +230,12 @@ func (s *Sharded) serveBatch(w http.ResponseWriter, r *http.Request) {
 		if pr.Cell == "" {
 			s.metrics.batchServed(false, 0)
 			http.Error(w, fmt.Sprintf("request %d: missing cell", i), http.StatusBadRequest)
+			return
+		}
+		if len(pr.Device) > wal.MaxIDLen || len(pr.Cell) > wal.MaxIDLen {
+			s.metrics.batchServed(false, 0)
+			http.Error(w, fmt.Sprintf("request %d: device or cell ID exceeds %d bytes", i, wal.MaxIDLen),
+				http.StatusBadRequest)
 			return
 		}
 	}

@@ -14,6 +14,7 @@ import (
 
 	"threegol/internal/obs"
 	"threegol/internal/permit"
+	"threegol/internal/permitplane/wal"
 )
 
 // testUtil is a deterministic monitoring hook: cells named "hot-*" are
@@ -106,6 +107,36 @@ func TestShardedRejectsBadBatches(t *testing.T) {
 	// Decisions must be unaffected by the rejected batches.
 	if g, d := s.Stats(); g != 0 || d != 0 {
 		t.Errorf("rejected batches made decisions: grants=%d denials=%d", g, d)
+	}
+}
+
+// TestShardedRejectsOversizedIDs pins the HTTP edge guard: a device or
+// cell longer than the WAL can frame is a 400 on both transports, not
+// a granted-but-untrackable permit.
+func TestShardedRejectsOversizedIDs(t *testing.T) {
+	s := New(Config{Shards: 2, Utilization: testUtil, Clock: &fakeClock{}})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	huge := strings.Repeat("x", wal.MaxIDLen+1)
+	for _, q := range []string{"cell=c&device=" + huge, "cell=" + huge + "&device=d"} {
+		resp, err := http.Get(srv.URL + "/permit?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("oversized ID on GET /permit: %s, want 400", resp.Status)
+		}
+	}
+	if resp, _ := postBatch(t, srv.URL, []PermitRequest{{Device: huge, Cell: "c"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized device in batch: %s, want 400", resp.Status)
+	}
+	if resp, _ := postBatch(t, srv.URL, []PermitRequest{{Device: "d", Cell: huge}}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized cell in batch: %s, want 400", resp.Status)
+	}
+	if g, d := s.Stats(); g != 0 || d != 0 {
+		t.Errorf("rejected requests made decisions: grants=%d denials=%d", g, d)
 	}
 }
 

@@ -100,6 +100,10 @@ type Metrics struct {
 	// WALTornBytes counts trailing bytes a crash left torn, truncated
 	// at recovery.
 	WALTornBytes *obs.Counter
+	// OversizedIDs counts decisions left untracked because the device
+	// or cell identifier exceeded wal.MaxIDLen — an ID that long can be
+	// framed neither in a WAL record nor in a snapshot.
+	OversizedIDs *obs.Counter
 }
 
 // NewMetrics registers the permit plane's metrics on r.
@@ -152,6 +156,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Write-ahead-log records applied by boot-time replay (on top of the snapshot)."),
 		WALTornBytes: r.NewCounter("permitplane_wal_torn_bytes_total",
 			"Torn trailing bytes a crash left in the log, truncated at recovery."),
+		OversizedIDs: r.NewCounter("permitplane_oversized_ids_total",
+			"Permit decisions left untracked because the device or cell ID exceeded the WAL identifier bound."),
 	}
 }
 
@@ -288,6 +294,13 @@ func (m *Metrics) walRecovered(grants, expired int, stats wal.RecoveryStats) {
 	m.WALExpiredOnRecovery.Add(int64(expired))
 	m.WALReplayedRecords.Add(stats.RecordsReplayed)
 	m.WALTornBytes.Add(stats.TornBytes)
+}
+
+func (m *Metrics) oversizedID() {
+	if m == nil {
+		return
+	}
+	m.OversizedIDs.Inc()
 }
 
 func (m *Metrics) outstanding(n int) {

@@ -105,12 +105,18 @@ func OpenGrantStore(dir string, clk clock.Clock, m *Metrics, snapshotEvery int) 
 	expired := state.ExpireDue(recoveredAt)
 	for _, g := range expired {
 		// The lapse happened while the daemon was down; record it so
-		// replay-of-the-replay converges instead of re-expiring.
-		if _, err := log.Append(wal.OpExpire, g.Device, g.Cell, recoveredAt, 0); err != nil {
+		// replay-of-the-replay converges instead of re-expiring. The
+		// record folds through Apply like any other (ExpireDue already
+		// dropped the grant, so only the seq and expiry counter move):
+		// the snapshot written below then carries exactly the counters
+		// an independent replay of these records would reach, keeping
+		// compaction equivalent to the fold it replaces.
+		rec, err := log.Append(wal.OpExpire, g.Device, g.Cell, recoveredAt, 0)
+		if err != nil {
 			log.Close()
 			return nil, err
 		}
-		state.Seq = log.Seq()
+		state.Apply(rec)
 	}
 	for _, g := range state.Grants {
 		heap.Push(&s.heap, storeExpiry{at: g.Expiry, device: g.Device, cell: g.Cell})
@@ -153,6 +159,14 @@ func (s *GrantStore) Recovery() Recovery {
 //3golvet:allow ctxprop — the WAL append must stay ordered with the decision it records; cancelling it mid-write would desynchronise log and state
 func (s *GrantStore) RecordDecision(device, cell string, granted bool, ttlSeconds float64) {
 	if s == nil || device == "" {
+		return
+	}
+	if len(device) > wal.MaxIDLen || len(cell) > wal.MaxIDLen {
+		// An oversized ID can be framed neither in a WAL record nor in
+		// a snapshot (both carry uint16 length fields); even holding it
+		// in memory would poison the next snapshot. The decision goes
+		// untracked, like one with no device identity.
+		s.metrics.oversizedID()
 		return
 	}
 	s.mu.Lock()
@@ -227,6 +241,13 @@ func (s *GrantStore) applyLocked(op wal.Op, device, cell string, at, expiry int6
 	s.state.Apply(wal.Record{
 		Seq: s.state.Seq + 1, Op: op, At: at, Expiry: expiry, Device: device, Cell: cell,
 	})
+	if s.log != nil {
+		// Keep the log's sequence counter aligned with the state's: a
+		// snapshot may persist the synthesised (higher) seq, and a later
+		// successful append that reused a lower number would be skipped
+		// on replay as already covered by that snapshot.
+		s.log.SkipTo(s.state.Seq)
+	}
 }
 
 // maybeSnapshotLocked compacts once enough records accumulated.

@@ -1,9 +1,11 @@
 package permitplane
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"threegol/internal/obs"
 	"threegol/internal/permitplane/wal"
 )
 
@@ -116,6 +118,80 @@ func TestGrantStoreRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.ExpireDue(rec.RecoveredAt)
+	if got := HashState(st); got != rec.StateHash {
+		t.Errorf("independent replay hash %q != recovery hash %q", got, rec.StateHash)
+	}
+}
+
+// TestGrantStoreIgnoresOversizedIDs pins the edge guard: an ID too
+// long for the WAL's uint16 length fields must never enter the grant
+// state — framed, it would poison the log; held in memory, the next
+// snapshot.
+func TestGrantStoreIgnoresOversizedIDs(t *testing.T) {
+	dir := t.TempDir()
+	clk := storeClock()
+	m := NewMetrics(obs.NewRegistry())
+	s, err := OpenGrantStore(dir, clk, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := strings.Repeat("x", wal.MaxIDLen+1)
+	s.RecordDecision(huge, "bs0/s0", true, 100)
+	s.RecordDecision("d1", huge, true, 100)
+	if got := s.Outstanding(); got != 0 {
+		t.Errorf("outstanding = %d, want 0 — an oversized ID was tracked", got)
+	}
+	if got := s.WALErrors(); got != 0 {
+		t.Errorf("WAL errors = %d, want 0 — the oversized ID reached the log", got)
+	}
+	if got := m.OversizedIDs.With().Value(); got != 2 {
+		t.Errorf("oversized-ID counter = %d, want 2", got)
+	}
+	// Tracking continues normally afterwards, and the WAL replays clean.
+	s.RecordDecision("d1", "bs0/s0", true, 100)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, stats, err := wal.Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornBytes != 0 || len(st.Grants) != 1 {
+		t.Errorf("replay: %d torn bytes, %d grants, want 0 and 1", stats.TornBytes, len(st.Grants))
+	}
+}
+
+// TestGrantStoreRecoveryExpiryCounted pins snapshot/replay counter
+// equivalence: the expire records recovery appends fold through Apply,
+// so the compacted snapshot carries the same cumulative counters an
+// independent replay of those records reaches.
+func TestGrantStoreRecoveryExpiryCounted(t *testing.T) {
+	dir := t.TempDir()
+	clk := storeClock()
+	s, err := OpenGrantStore(dir, clk, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RecordDecision("short", "bs0/s0", true, 10)
+	s.RecordDecision("long", "bs0/s1", true, 1000)
+	// Crash without Close; the outage outlives short's TTL.
+	clk.advance(60 * time.Second)
+	r, err := OpenGrantStore(dir, clk, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.ExpiredOnRecovery != 1 {
+		t.Fatalf("expired %d on recovery, want 1", rec.ExpiredOnRecovery)
+	}
+	st, _, err := wal.Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalExpiries != 1 {
+		t.Errorf("snapshot carries %d total expiries, want 1 — recovery expiry bypassed the counter fold", st.TotalExpiries)
+	}
 	if got := HashState(st); got != rec.StateHash {
 		t.Errorf("independent replay hash %q != recovery hash %q", got, rec.StateHash)
 	}

@@ -94,6 +94,25 @@ const (
 	maxPayload  = 1 << 16
 )
 
+// MaxIDLen bounds the device and cell identifiers a record may carry.
+// The frame stores each length in a uint16 and caps the whole payload
+// at maxPayload; an unbounded ID would wrap the length field or exceed
+// the frame bound, and decodeFrame would read the resulting frame as a
+// torn tail — silently truncating every record appended after it.
+// Append rejects oversized IDs up front so one bad identifier can
+// never poison the log.
+const MaxIDLen = 4096
+
+// ErrIDTooLong reports a device or cell identifier longer than
+// MaxIDLen; Append rejected the record before writing anything.
+var ErrIDTooLong = errors.New("wal: device or cell ID exceeds MaxIDLen")
+
+// errSealed reports a log sealed after a failed write could not be
+// rewound to a frame boundary: further appends would land after
+// partial frame bytes and be unreachable by replay, so they are
+// refused instead. A successful WriteSnapshot heals the log.
+var errSealed = errors.New("wal: log sealed after unrepairable partial write")
+
 // encode appends the record's frame to buf and returns the result.
 func encode(buf []byte, r Record) []byte {
 	payload := make([]byte, 0, 29+len(r.Device)+len(r.Cell))
@@ -191,6 +210,13 @@ type Log struct {
 	seq       uint64
 	syncEvery int
 	unsynced  int
+	// size is the log's known-good byte length: the end of the last
+	// fully written frame. A failed append rewinds the file here so a
+	// partial write can never sit in the middle of later records.
+	size int64
+	// sealed refuses further appends after a rewind itself failed —
+	// the only state in which partial bytes might precede the tail.
+	sealed    bool
 	recovered RecoveryStats
 }
 
@@ -220,8 +246,29 @@ func Open(dir string, syncEvery int) (*Log, *State, RecoveryStats, error) {
 		f.Close()
 		return nil, nil, stats, fmt.Errorf("wal: seeking log in %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, f: f, seq: st.Seq, syncEvery: syncEvery, recovered: stats}
+	// Make the log file's existence itself durable: a power loss right
+	// after boot must not forget the directory entry the first synced
+	// append will live in.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, stats, err
+	}
+	l := &Log{dir: dir, f: f, seq: st.Seq, syncEvery: syncEvery, size: validLen, recovered: stats}
 	return l, st, stats, nil
+}
+
+// syncDir fsyncs a directory, making renames and creates inside it
+// durable across power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s to sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing directory %s: %w", dir, err)
+	}
+	return nil
 }
 
 // Replay reconstructs a shard's state read-only — the chaos harness's
@@ -286,14 +333,30 @@ func (l *Log) Recovered() RecoveryStats { return l.recovered }
 
 // Append assigns the next sequence number to a record, writes its
 // frame, and returns the stamped record for the caller to apply to its
-// state. With syncEvery > 0 the file is fsynced every that many
-// appends; syncEvery == 0 never fsyncs, which still survives kill -9
-// (the kernel owns written pages) but not power loss.
+// state. Records whose device or cell exceeds MaxIDLen are rejected
+// with ErrIDTooLong before anything is written — an oversized ID would
+// produce a frame replay reads as torn, truncating every record after
+// it. A failed write is rewound to the last frame boundary so partial
+// bytes never precede later appends; if the rewind itself fails the
+// log seals and every Append errors until a snapshot heals it. With
+// syncEvery > 0 the file is fsynced every that many appends;
+// syncEvery == 0 never fsyncs, which still survives kill -9 (the
+// kernel owns written pages) but not power loss.
 func (l *Log) Append(op Op, device, cell string, at, expiry int64) (Record, error) {
+	if l.sealed {
+		return Record{}, fmt.Errorf("wal: appending %s record: %w", op, errSealed)
+	}
+	if len(device) > MaxIDLen || len(cell) > MaxIDLen {
+		return Record{}, fmt.Errorf("wal: appending %s record (device %d bytes, cell %d bytes): %w",
+			op, len(device), len(cell), ErrIDTooLong)
+	}
 	r := Record{Seq: l.seq + 1, Op: op, At: at, Expiry: expiry, Device: device, Cell: cell}
-	if _, err := l.f.Write(encode(nil, r)); err != nil {
+	frame := encode(nil, r)
+	if _, err := l.f.Write(frame); err != nil {
+		l.rewind()
 		return Record{}, fmt.Errorf("wal: appending %s record: %w", op, err)
 	}
+	l.size += int64(len(frame))
 	l.seq = r.Seq
 	l.unsynced++
 	if l.syncEvery > 0 && l.unsynced >= l.syncEvery {
@@ -303,6 +366,36 @@ func (l *Log) Append(op Op, device, cell string, at, expiry int64) (Record, erro
 		l.unsynced = 0
 	}
 	return r, nil
+}
+
+// rewind discards whatever a failed write left past the last
+// known-good frame boundary. The torn-tail machinery only tolerates
+// garbage at the very end of the log; without the rewind, the next
+// successful append would strand partial bytes mid-file and replay
+// would stop there, discarding every record after them. If the rewind
+// fails the log seals: refusing appends is strictly better than
+// writing records recovery cannot reach.
+func (l *Log) rewind() {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.sealed = true
+		return
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.sealed = true
+	}
+}
+
+// SkipTo advances the sequence counter to at least seq without writing
+// anything. The grant store calls it after folding a record the log
+// could not append (degraded durability): the in-memory state's
+// sequence number moved past the log's, and a later snapshot persists
+// that higher seq — if subsequent appends reused the lower numbers,
+// replay would skip them as already covered by the snapshot and
+// durably written records would silently vanish.
+func (l *Log) SkipTo(seq uint64) {
+	if seq > l.seq {
+		l.seq = seq
+	}
 }
 
 // WriteSnapshot persists st atomically (temp file + rename) and
@@ -331,13 +424,27 @@ func (l *Log) WriteSnapshot(st *State) error {
 	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
 		return fmt.Errorf("wal: installing snapshot: %w", err)
 	}
+	// The rename is atomic but not durable until the directory entry is
+	// synced; without this, a power loss after the log truncation below
+	// could resurrect the old snapshot with the new (shorter) log and
+	// lose every record the new snapshot had compacted away.
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncating compacted log: %w", err)
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: rewinding compacted log: %w", err)
 	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing truncated log: %w", err)
+	}
+	l.size = 0
 	l.unsynced = 0
+	// The snapshot covers the full state and the log is verifiably
+	// empty, so a log sealed by an earlier failed rewind is clean again.
+	l.sealed = false
 	return nil
 }
 

@@ -2,8 +2,10 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -294,6 +296,196 @@ func TestExpireDueDeterministicOrder(t *testing.T) {
 	}
 	if st.ExpireDue(100) != nil {
 		t.Error("second ExpireDue at the same instant expired something")
+	}
+}
+
+// TestAppendRejectsOversizedID pins the ID bound: an identifier too
+// long for the frame's uint16 length fields must be rejected before
+// anything hits the disk — written, it would decode as a torn tail and
+// truncate every record appended after it.
+func TestAppendRejectsOversizedID(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(OpGrant, "d1", "bs0/s0", 100, 1100); err != nil {
+		t.Fatal(err)
+	}
+
+	huge := strings.Repeat("x", MaxIDLen+1)
+	if _, err := l.Append(OpGrant, huge, "bs0/s0", 200, 1200); !errors.Is(err, ErrIDTooLong) {
+		t.Fatalf("oversized device: err = %v, want ErrIDTooLong", err)
+	}
+	if _, err := l.Append(OpGrant, "d2", huge, 200, 1200); !errors.Is(err, ErrIDTooLong) {
+		t.Fatalf("oversized cell: err = %v, want ErrIDTooLong", err)
+	}
+	// The rejections wrote nothing: later appends and replay are intact.
+	if _, err := l.Append(OpGrant, "d2", "bs0/s1", 300, 1300); err != nil {
+		t.Fatal(err)
+	}
+	st, stats, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornBytes != 0 {
+		t.Errorf("%d torn bytes after rejected appends, want 0", stats.TornBytes)
+	}
+	if len(st.Grants) != 2 || st.Seq != 2 {
+		t.Errorf("replayed %d grants seq %d, want 2 grants seq 2", len(st.Grants), st.Seq)
+	}
+	// An ID at exactly the bound is fine and well under maxPayload.
+	max := strings.Repeat("y", MaxIDLen)
+	if _, err := l.Append(OpGrant, max, max, 400, 1400); err != nil {
+		t.Errorf("MaxIDLen-sized IDs rejected: %v", err)
+	}
+}
+
+// TestSkipToKeepsReplayAligned pins the degraded-fold sequence
+// contract: when the store folds a record the log could not append, a
+// snapshot persists the synthesised (higher) seq — later successful
+// appends must number above it, or replay skips them as covered.
+func TestSkipToKeepsReplayAligned(t *testing.T) {
+	dir := t.TempDir()
+	l, st, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped, err := l.Append(OpGrant, "d1", "bs0/s0", 100, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Apply(stamped)
+
+	// A degraded fold: the record never reached the log, but the state
+	// consumed seq 2 — and SkipTo tells the log so.
+	st.Apply(Record{Seq: st.Seq + 1, Op: OpGrant, At: 200, Expiry: 1200, Device: "d2", Cell: "bs0/s1"})
+	l.SkipTo(st.Seq)
+	if err := l.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next durable record must not sort at or below the snapshot's
+	// seq 2.
+	after, err := l.Append(OpGrant, "d3", "bs0/s2", 300, 1300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Seq != 3 {
+		t.Fatalf("post-degradation append got seq %d, want 3 (> snapshot seq 2)", after.Seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, stats, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecordsSkipped != 0 || stats.RecordsReplayed != 1 {
+		t.Errorf("replay skipped %d / applied %d records, want 0 skipped, 1 applied", stats.RecordsSkipped, stats.RecordsReplayed)
+	}
+	if _, ok := replayed.Grants[Key("d3", "bs0/s2")]; !ok {
+		t.Error("durably written post-degradation record vanished on replay")
+	}
+}
+
+// TestRewindRepairsPartialWrite pins the failed-append repair: partial
+// frame bytes a failed write left behind are truncated back to the
+// last frame boundary, so later appends land contiguously and replay
+// loses nothing.
+func TestRewindRepairsPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpGrant, "d1", "bs0/s0", 100, 1100); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a write that failed partway through a frame (the exact
+	// on-disk state Append's error path sees), then the repair.
+	if _, err := l.f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	l.rewind()
+	if l.sealed {
+		t.Fatal("rewind sealed a repairable log")
+	}
+	if _, err := l.Append(OpGrant, "d2", "bs0/s1", 200, 1200); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, stats, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornBytes != 0 {
+		t.Errorf("%d torn bytes after rewind, want 0 — partial write left mid-log garbage", stats.TornBytes)
+	}
+	if len(st.Grants) != 2 {
+		t.Errorf("replayed %d grants, want 2 — records after the partial write were lost", len(st.Grants))
+	}
+}
+
+// TestSealedLogRefusesAppendsUntilSnapshot pins the last-resort path:
+// when even the rewind fails, the log seals (no append may land after
+// unrepaired partial bytes) and a successful snapshot — which empties
+// the log — heals it.
+func TestSealedLogRefusesAppendsUntilSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, st, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped, err := l.Append(OpGrant, "d1", "bs0/s0", 100, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Apply(stamped)
+
+	// Swap in a read-only descriptor: the write fails, and so does the
+	// repair truncate — the log must seal.
+	good := l.f
+	ro, err := os.Open(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	l.f = ro
+	if _, err := l.Append(OpGrant, "d2", "bs0/s1", 200, 1200); err == nil {
+		t.Fatal("append on read-only log succeeded")
+	}
+	if !l.sealed {
+		t.Fatal("unrepairable write failure did not seal the log")
+	}
+	if _, err := l.Append(OpGrant, "d3", "bs0/s2", 300, 1300); !errors.Is(err, errSealed) {
+		t.Fatalf("sealed log append err = %v, want errSealed", err)
+	}
+
+	// The descriptor recovers; a snapshot covers the full state and
+	// verifiably empties the log, so appends may resume.
+	l.f = good
+	if err := l.WriteSnapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if l.sealed {
+		t.Fatal("successful snapshot left the log sealed")
+	}
+	if _, err := l.Append(OpGrant, "d4", "bs0/s3", 400, 1400); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed.Grants) != 2 {
+		t.Errorf("replayed %d grants, want 2 (d1 from snapshot, d4 from log)", len(replayed.Grants))
 	}
 }
 
